@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench harness harness-full examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B target per paper figure/table.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure (default scale, ~10 minutes).
+harness:
+	$(GO) run ./cmd/prdmabench -all
+
+# The paper's exact workload sizes (long).
+harness-full:
+	$(GO) run ./cmd/prdmabench -all -scale full
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/kvstore
+	$(GO) run ./examples/pagerank
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/replication
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,110 @@
+// Benchmarks: one testing.B target per table/figure of the paper's
+// evaluation, wrapping the drivers in internal/bench. Each iteration runs
+// the full experiment at a reduced-but-statistically-identical scale; use
+// cmd/prdmabench for paper-scale runs and human-readable tables.
+//
+//	go test -bench=Fig08 -benchmem
+package prdma_test
+
+import (
+	"testing"
+
+	"prdma/internal/bench"
+)
+
+// benchOpts sizes experiments so a -bench=. sweep stays tractable.
+func benchOpts() bench.Options {
+	o := bench.Quick()
+	o.Ops = 800
+	o.Objects = 1000
+	o.OpsPerSender = 60
+	return o
+}
+
+func runTables(b *testing.B, fn func() []bench.Table) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := fn()
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func one(fn func() bench.Table) func() []bench.Table {
+	return func() []bench.Table { return []bench.Table{fn()} }
+}
+
+// BenchmarkFig08Throughput regenerates Fig. 8(a,b): micro-benchmark
+// throughput for all RPC systems under heavy and light load.
+func BenchmarkFig08Throughput(b *testing.B) { runTables(b, benchOpts().Fig8) }
+
+// BenchmarkFig09TailLatency regenerates Fig. 9: 95th/99th/avg latency for
+// 1 KB and 64 KB objects.
+func BenchmarkFig09TailLatency(b *testing.B) { runTables(b, benchOpts().Fig9) }
+
+// BenchmarkFig10PageRank regenerates Fig. 10: PageRank over the three
+// graph datasets.
+func BenchmarkFig10PageRank(b *testing.B) { runTables(b, one(benchOpts().Fig10)) }
+
+// BenchmarkFig11YCSB regenerates Fig. 11: YCSB A–F average latency.
+func BenchmarkFig11YCSB(b *testing.B) { runTables(b, one(benchOpts().Fig11)) }
+
+// BenchmarkFig12Failure regenerates Fig. 12: normalized total time under
+// crashes across availability levels.
+func BenchmarkFig12Failure(b *testing.B) { runTables(b, one(benchOpts().Fig12)) }
+
+// BenchmarkFig13ObjectSize regenerates Fig. 13: latency vs object size.
+func BenchmarkFig13ObjectSize(b *testing.B) { runTables(b, one(benchOpts().Fig13)) }
+
+// BenchmarkFig14NetLoad regenerates Fig. 14: latency under network load.
+func BenchmarkFig14NetLoad(b *testing.B) { runTables(b, one(benchOpts().Fig14)) }
+
+// BenchmarkFig15RecvCPU regenerates Fig. 15: latency under receiver CPU load.
+func BenchmarkFig15RecvCPU(b *testing.B) { runTables(b, one(benchOpts().Fig15)) }
+
+// BenchmarkFig16SendCPU regenerates Fig. 16: latency under sender CPU load.
+func BenchmarkFig16SendCPU(b *testing.B) { runTables(b, one(benchOpts().Fig16)) }
+
+// BenchmarkFig17Senders regenerates Fig. 17: latency vs concurrent senders.
+func BenchmarkFig17Senders(b *testing.B) { runTables(b, one(benchOpts().Fig17)) }
+
+// BenchmarkFig18RWRatio regenerates Fig. 18: latency vs read/write mix.
+func BenchmarkFig18RWRatio(b *testing.B) { runTables(b, one(benchOpts().Fig18)) }
+
+// BenchmarkFig19Batching regenerates Fig. 19: total time vs batch size.
+func BenchmarkFig19Batching(b *testing.B) { runTables(b, one(benchOpts().Fig19)) }
+
+// BenchmarkFig20Breakdown regenerates Fig. 20: the hardware/software
+// latency breakdown.
+func BenchmarkFig20Breakdown(b *testing.B) { runTables(b, one(benchOpts().Fig20)) }
+
+// BenchmarkTable2Summary regenerates Table 2: the qualitative summary,
+// derived from sensitivity measurements.
+func BenchmarkTable2Summary(b *testing.B) { runTables(b, one(benchOpts().Table2)) }
+
+// BenchmarkAblationNativeFlush compares emulated vs native Flush primitives.
+func BenchmarkAblationNativeFlush(b *testing.B) {
+	runTables(b, one(benchOpts().AblationNativeFlush))
+}
+
+// BenchmarkAblationDDIO compares DDIO off vs on.
+func BenchmarkAblationDDIO(b *testing.B) { runTables(b, one(benchOpts().AblationDDIO)) }
+
+// BenchmarkAblationWorkers sweeps the server worker pool.
+func BenchmarkAblationWorkers(b *testing.B) { runTables(b, one(benchOpts().AblationWorkers)) }
+
+// BenchmarkAblationThrottle sweeps the back-pressure threshold.
+func BenchmarkAblationThrottle(b *testing.B) { runTables(b, one(benchOpts().AblationThrottle)) }
+
+// BenchmarkFig07CaseStudy regenerates the §4.4.1 case study: Octopus made
+// durable with the WFlush primitive (Fig. 7(a)).
+func BenchmarkFig07CaseStudy(b *testing.B) { runTables(b, one(benchOpts().Fig7CaseStudy)) }
+
+// BenchmarkReplication measures the §4.5 extension: replicated durable
+// writes across replication factors and completion policies.
+func BenchmarkReplication(b *testing.B) { runTables(b, one(benchOpts().Replication)) }
+
+// BenchmarkTable1Extras measures the Table 1 systems the paper does not
+// plot: Hotpot and Mojim against DaRPC and SFlush-RPC.
+func BenchmarkTable1Extras(b *testing.B) { runTables(b, one(benchOpts().Table1Extras)) }

@@ -1,0 +1,140 @@
+// Command prdmabench regenerates the paper's tables and figures on the
+// simulated testbed. Each figure prints the same rows/series the paper
+// reports, with a note recalling the published expectation.
+//
+// Usage:
+//
+//	prdmabench -fig 8          # one figure (8..20)
+//	prdmabench -table 2        # Table 2
+//	prdmabench -ablation all   # design-choice ablations
+//	prdmabench -all            # everything
+//	prdmabench -all -scale full    # the paper's exact workload sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"prdma/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to reproduce (7..20; 7 = the §4.4 case study)")
+	table := flag.Int("table", 0, "table number to reproduce (2)")
+	ablation := flag.String("ablation", "", "ablation to run: flush|ddio|workers|throttle|replication|table1|all")
+	all := flag.Bool("all", false, "run every experiment")
+	scale := flag.String("scale", "default", "workload scale: quick|default|full")
+	ops := flag.Int("ops", 0, "override operations per configuration")
+	seed := flag.Uint64("seed", 1, "random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	var o bench.Options
+	switch *scale {
+	case "quick":
+		o = bench.Quick()
+	case "full":
+		o = bench.Full()
+	case "default":
+		o = bench.Default()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *ops > 0 {
+		o.Ops = *ops
+	}
+	o.Seed = *seed
+
+	run := func(name string, fn func() []bench.Table) {
+		start := time.Now()
+		for _, t := range fn() {
+			if *csv {
+				fmt.Printf("# %s\n", t.Title)
+				if err := t.CSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			} else {
+				t.Fprint(os.Stdout)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	one := func(fn func() bench.Table) func() []bench.Table {
+		return func() []bench.Table { return []bench.Table{fn()} }
+	}
+
+	figs := map[int]func() []bench.Table{
+		7:  one(o.Fig7CaseStudy),
+		8:  o.Fig8,
+		9:  o.Fig9,
+		10: one(o.Fig10),
+		11: one(o.Fig11),
+		12: one(o.Fig12),
+		13: one(o.Fig13),
+		14: one(o.Fig14),
+		15: one(o.Fig15),
+		16: one(o.Fig16),
+		17: one(o.Fig17),
+		18: one(o.Fig18),
+		19: one(o.Fig19),
+		20: one(o.Fig20),
+	}
+	ablations := map[string]func() []bench.Table{
+		"flush":       one(o.AblationNativeFlush),
+		"ddio":        one(o.AblationDDIO),
+		"workers":     one(o.AblationWorkers),
+		"throttle":    one(o.AblationThrottle),
+		"replication": one(o.Replication),
+		"table1":      one(o.Table1Extras),
+	}
+
+	ran := false
+	if *fig != 0 {
+		fn, ok := figs[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no such figure: %d\n", *fig)
+			os.Exit(2)
+		}
+		run(fmt.Sprintf("fig %d", *fig), fn)
+		ran = true
+	}
+	if *table == 2 {
+		run("table 2", one(o.Table2))
+		ran = true
+	} else if *table != 0 {
+		fmt.Fprintf(os.Stderr, "no such table: %d (Table 1 is the taxonomy in the README)\n", *table)
+		os.Exit(2)
+	}
+	if *ablation != "" {
+		if *ablation == "all" {
+			for _, name := range []string{"flush", "ddio", "workers", "throttle", "replication", "table1"} {
+				run("ablation "+name, ablations[name])
+			}
+		} else if fn, ok := ablations[*ablation]; ok {
+			run("ablation "+*ablation, fn)
+		} else {
+			fmt.Fprintf(os.Stderr, "no such ablation: %s\n", *ablation)
+			os.Exit(2)
+		}
+		ran = true
+	}
+	if *all {
+		for i := 7; i <= 20; i++ {
+			run(fmt.Sprintf("fig %d", i), figs[i])
+		}
+		run("table 2", one(o.Table2))
+		for _, name := range []string{"flush", "ddio", "workers", "throttle", "replication", "table1"} {
+			run("ablation "+name, ablations[name])
+		}
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,70 @@
+// Failover: the §5.4 scenario — the RPC service crashes mid-stream and
+// restarts; the durable RPC replays persisted-but-unprocessed requests from
+// the redo log, while the traditional baseline makes the client re-send.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"prdma"
+)
+
+func run(kind prdma.Kind) prdma.FailureMeasurement {
+	params := prdma.DefaultParams()
+	params.RPC.ProcessingTime = 20 * time.Microsecond // server is the bottleneck
+	cluster, err := prdma.NewCluster(params, 1, 512, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, ok := cluster.Connect(kind, 0).(prdma.Recoverable)
+	if !ok {
+		log.Fatalf("%v does not implement the recovery protocol", kind)
+	}
+	fp := prdma.FailureParams{
+		Restart:      5 * time.Millisecond, // scaled unikernel restart
+		Retransfer:   time.Millisecond,     // scaled RDMA re-transfer interval
+		Crashes:      4,
+		OpsPerWindow: 400,
+		Pipeline:     8,
+	}
+	driver := cluster.NewFailureDriver(client, fp)
+	payload := make([]byte, 4096)
+	gen := prdma.NewMix(0.0, 512, 4096, 11) // write-only: the hard case
+	var m prdma.FailureMeasurement
+	cluster.Go("driver", func(p *prdma.Proc) {
+		m = driver.Run(p, func(i int) *prdma.Request {
+			req := gen.Next()
+			req.Payload = payload
+			return req
+		})
+	})
+	cluster.Run()
+	return m
+}
+
+func main() {
+	fmt.Println("crash/recovery comparison: 4 injected crashes, write-only workload, 4KB values")
+	durable := run(prdma.WFlushRPC)
+	baseline := run(prdma.FaRM)
+
+	show := func(name string, m prdma.FailureMeasurement) {
+		fmt.Printf("%-12s ops=%d crashes=%d replayed-from-log=%d client-resent=%d clean-per-op=%v per-crash-overhead=%v\n",
+			name, m.Ops, m.Crashes, m.Replayed, m.Resent, m.CleanPerOp.Round(10), m.PerCrashCost.Round(time.Microsecond))
+	}
+	show("WFlush-RPC", durable)
+	show("FaRM", baseline)
+
+	fmt.Println("\nextrapolated to the paper's 1e9-operation run (300ms restarts):")
+	fmt.Printf("%-14s %12s %12s %10s\n", "availability", "WFlush-RPC", "FaRM", "normalized")
+	for _, a := range []float64{0.99, 0.999, 0.9999, 0.99999} {
+		d := durable.ExpectedTotal(1e9, a, 300*time.Millisecond)
+		b := baseline.ExpectedTotal(1e9, a, 300*time.Millisecond)
+		fmt.Printf("%13.3f%% %12v %12v %10.3f\n", a*100, d.Round(time.Second), b.Round(time.Second), float64(d)/float64(b))
+	}
+	fmt.Println("\nthe durable RPC recovers server-side from the redo log — the client never")
+	fmt.Println("re-sends data that was already acknowledged as persistent (paper §4.2, Fig. 12).")
+}

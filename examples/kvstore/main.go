@@ -1,0 +1,49 @@
+// KV store: the §5.3 YCSB scenario — 4 KB values in remote PM, client-side
+// index, zipfian access — comparing a durable RPC against DaRPC across
+// workloads A (update-heavy) and C (read-only).
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prdma"
+)
+
+func run(kind prdma.Kind, w prdma.YCSBWorkload, ops int) (prdma.KVResult, error) {
+	cluster, err := prdma.NewCluster(prdma.DefaultParams(), 1, 5000, 4096)
+	if err != nil {
+		return prdma.KVResult{}, err
+	}
+	kv := cluster.OpenKV(cluster.Connect(kind, 0), 0, 5000, 4096)
+	cfg := prdma.DefaultYCSBConfig()
+	cfg.Records = 5000
+	var res prdma.KVResult
+	var runErr error
+	cluster.Go("ycsb", func(p *prdma.Proc) {
+		res, runErr = kv.Run(p, prdma.NewYCSB(w, cfg).Next, ops)
+	})
+	cluster.Run()
+	return res, runErr
+}
+
+func main() {
+	const ops = 3000
+	fmt.Println("YCSB over remote PM, 4KB values, zipfian(0.99), 3000 ops per cell")
+	fmt.Printf("%-14s %-10s %12s %12s %12s\n", "rpc", "workload", "avg", "p99", "KOPS")
+	for _, w := range []prdma.YCSBWorkload{prdma.YCSBA, prdma.YCSBC} {
+		for _, kind := range []prdma.Kind{prdma.DaRPC, prdma.SFlushRPC, prdma.FaRM, prdma.WFlushRPC} {
+			res, err := run(kind, w, ops)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-14s %-10s %12v %12v %12.1f\n",
+				kind, w, res.Latency.Mean().Round(10), res.Latency.Percentile(99).Round(10),
+				res.Throughput().KOPS())
+		}
+	}
+	fmt.Println("\nexpected shape (paper Fig. 11): durable RPCs win on workload A's updates,")
+	fmt.Println("roughly tie on read-only workload C.")
+}

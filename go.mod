@@ -1,0 +1,3 @@
+module prdma
+
+go 1.22

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+
+	"prdma/internal/rpc"
+)
+
+// AblationNativeFlush compares the paper's read-after-write flush emulation
+// against the proposed native primitives (DESIGN.md §6): the native WFlush
+// saves the extra read's wire round and WQE costs.
+func (o Options) AblationNativeFlush() Table {
+	t := Table{
+		Title:  "Ablation: emulated (read-after-write) vs native Flush primitives, avg latency (us)",
+		Header: []string{"rpc", "emulated", "native", "native gain"},
+		Notes:  "the paper measures the emulation; native WFlush saves the read round; native SFlush serializes its address lookup at the NIC (two DMAs, Fig. 5), so it roughly matches the emulation",
+	}
+	for _, kind := range []rpc.Kind{rpc.WFlushRPC, rpc.SFlushRPC} {
+		for _, size := range []int{1024, 65536} {
+			em := o.micro(kind, o.deploy(size), o.Ops, 0.0)
+			nat := o.micro(kind, o.deploy(size, nativeFlush), o.Ops, 0.0)
+			gain := 1 - float64(nat.Lat.Mean())/float64(em.Lat.Mean())
+			t.Rows = append(t.Rows, []string{
+				kind.String() + "/" + sizeLabel(size),
+				fmtUS(em.Lat.Mean()), fmtUS(nat.Lat.Mean()),
+				fmt.Sprintf("%.1f%%", gain*100),
+			})
+		}
+	}
+	return t
+}
+
+// AblationDDIO compares remote-persistence cost with DDIO off (the paper's
+// default, §5.1) and on (the §4.4.2 clflush dance for receiver-initiated
+// flushes; flush-flagged operations use non-cacheable regions).
+func (o Options) AblationDDIO() Table {
+	t := Table{
+		Title:  "Ablation: DDIO off vs on, write-only avg latency (us)",
+		Header: []string{"rpc", "ddio-off", "ddio-on", "penalty"},
+		Notes:  "DDIO forces a CPU clflush onto W-RFlush's persist path; WFlush rides the non-cacheable bypass",
+	}
+	for _, kind := range []rpc.Kind{rpc.WFlushRPC, rpc.WRFlushRPC, rpc.FaRM} {
+		off := o.micro(kind, o.deploy(4096), o.Ops, 0.0)
+		on := o.micro(kind, o.deploy(4096, withDDIO), o.Ops, 0.0)
+		t.Rows = append(t.Rows, []string{
+			kind.String(), fmtUS(off.Lat.Mean()), fmtUS(on.Lat.Mean()),
+			fmt.Sprintf("%.2fx", ratio(on.Lat.Mean(), off.Lat.Mean())),
+		})
+	}
+	return t
+}
+
+// AblationWorkers sweeps the server worker pool: the durable RPCs' heavy-
+// load throughput is bounded by how much processing can overlap.
+func (o Options) AblationWorkers() Table {
+	t := Table{
+		Title:  "Ablation: server workers vs heavy-load throughput (KOPS), WFlush-RPC",
+		Header: []string{"workers", "WFlush-RPC", "FaRM"},
+		Notes:  "durable RPC throughput scales with workers until the persist path saturates; FaRM is client-bound",
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		wf := o.micro(rpc.WFlushRPC, o.deploy(1024, heavyLoad, workers(w)), o.Ops, 0.0)
+		fm := o.micro(rpc.FaRM, o.deploy(1024, heavyLoad, workers(w)), o.Ops, 0.0)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", w),
+			fmt.Sprintf("%.1f", wf.KOPS()),
+			fmt.Sprintf("%.1f", fm.KOPS()),
+		})
+	}
+	return t
+}
+
+// AblationThrottle sweeps the §4.2 back-pressure threshold.
+func (o Options) AblationThrottle() Table {
+	t := Table{
+		Title:  "Ablation: redo-log back-pressure threshold, heavy load, WFlush-RPC",
+		Header: []string{"threshold", "KOPS", "p99 (us)"},
+		Notes:  "too-low thresholds stall the sender; high thresholds trade memory for throughput",
+	}
+	for _, th := range []int{2, 8, 32, 128, 512} {
+		m := o.micro(rpc.WFlushRPC, o.deploy(1024, heavyLoad, workers(4), throttle(th)), o.Ops, 0.0)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", th),
+			fmt.Sprintf("%.1f", m.KOPS()),
+			fmtUS(m.Lat.Percentile(99)),
+		})
+	}
+	return t
+}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"prdma/internal/host"
+	"prdma/internal/replicate"
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+)
+
+// Fig7CaseStudy reproduces the §4.4.1 case study (Fig. 7(a)): Octopus made
+// durable with the WFlush primitive, versus plain Octopus (whose write-imm
+// reply only confirms processing) — write latency to durability.
+func (o Options) Fig7CaseStudy() Table {
+	t := Table{
+		Title:  "Fig 7(a) case study: Octopus +/- WFlush, write avg latency (us)",
+		Header: []string{"system", "1KB", "4KB", "64KB"},
+		Notes:  "Octopus+WFlush guarantees persistence with no receiver CPU on the path: cheaper for large objects (DMA vs clwb persist), one extra read round for small ones",
+	}
+	sizes := []int{1024, 4096, 65536}
+	for _, durable := range []bool{false, true} {
+		label := "Octopus"
+		if durable {
+			label = "Octopus+WFlush"
+		}
+		row := []string{label}
+		for _, size := range sizes {
+			row = append(row, fmtUS(o.octopusCase(durable, size)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// octopusCase measures write latency for the case-study pair.
+func (o Options) octopusCase(durable bool, size int) time.Duration {
+	d := o.deploy(size)
+	c := d.build()
+	var client rpc.Client
+	if durable {
+		client = rpc.NewOctopusDurable(c.cli[0], c.engine, d.cfg)
+	} else {
+		client = rpc.NewOctopus(c.cli[0], c.engine, d.cfg)
+	}
+	var total time.Duration
+	ops := o.Ops / 4
+	if ops == 0 {
+		ops = 1
+	}
+	c.k.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < ops; i++ {
+			r, err := client.Call(p, &rpc.Request{Op: rpc.OpWrite, Key: uint64(i % d.objects), Size: size})
+			if err != nil {
+				panic(err)
+			}
+			total += r.ReadyAt.Sub(r.IssuedAt)
+		}
+	})
+	c.k.Run()
+	return total / time.Duration(ops)
+}
+
+// Replication measures the §4.5 extension: replicated durable-write latency
+// across replication factors and completion policies, with and without a
+// straggler replica.
+func (o Options) Replication() Table {
+	t := Table{
+		Title:  "Extension (§4.5): replicated durable writes, avg latency (us), 4KB",
+		Header: []string{"config", "R=1", "R=2", "R=3", "R=5"},
+		Notes:  "wait-all tracks the slowest replica; a quorum hides stragglers — the consistency/performance tradeoff §4.5 describes",
+	}
+	cases := []struct {
+		label    string
+		policy   replicate.Policy
+		straggle bool
+	}{
+		{"all, uniform", replicate.WaitAll, false},
+		{"quorum, uniform", replicate.WaitQuorum, false},
+		{"all, 1 straggler", replicate.WaitAll, true},
+		{"quorum, 1 straggler", replicate.WaitQuorum, true},
+	}
+	for _, cse := range cases {
+		row := []string{cse.label}
+		for _, r := range []int{1, 2, 3, 5} {
+			row = append(row, fmtUS(o.replicatedWrite(cse.policy, r, cse.straggle)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	// The HyperLoop-style NIC-offloaded chain (native primitives): hops
+	// serialize, but no client fan-out and zero replica CPU.
+	row := []string{"chain (NIC offload)"}
+	for _, r := range []int{1, 2, 3, 5} {
+		row = append(row, fmtUS(o.chainWrite(r)))
+	}
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// chainWrite measures mean NIC-chain write latency (native flush mode).
+func (o Options) chainWrite(replicas int) time.Duration {
+	d := o.deploy(4096, nativeFlush)
+	k := sim.New()
+	net := newFabric(k, d)
+	cli := newHost(k, "client-0", net, d.hostCli, d)
+	var members []*host.Host
+	for i := 0; i < replicas; i++ {
+		members = append(members, newHost(k, fmt.Sprintf("replica-%d", i), net, d.hostSrv, d))
+	}
+	chain, err := replicate.NewChain(cli, members)
+	if err != nil {
+		panic(err)
+	}
+	var total time.Duration
+	ops := o.Ops / 8
+	if ops == 0 {
+		ops = 1
+	}
+	k.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < ops; i++ {
+			start := p.Now()
+			chain.Write(p, int64(i%d.objects)*4096, 4096, nil)
+			total += p.Now().Sub(start)
+		}
+	})
+	k.Run()
+	return total / time.Duration(ops)
+}
+
+// replicatedWrite measures mean replicated-write latency.
+func (o Options) replicatedWrite(policy replicate.Policy, replicas int, straggle bool) time.Duration {
+	d := o.deploy(4096)
+	k := sim.New()
+	c := buildReplicaSet(k, d, replicas, straggle)
+	rc, err := replicate.New(k, policy, c.clients)
+	if err != nil {
+		panic(err)
+	}
+	var total time.Duration
+	ops := o.Ops / 8
+	if ops == 0 {
+		ops = 1
+	}
+	k.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < ops; i++ {
+			start := p.Now()
+			if _, _, err := rc.Write(p, &rpc.Request{Op: rpc.OpWrite, Key: uint64(i % d.objects), Size: 4096}); err != nil {
+				panic(err)
+			}
+			total += p.Now().Sub(start)
+		}
+	})
+	k.Run()
+	return total / time.Duration(ops)
+}
+
+// replicaSet is a client host plus R replica servers.
+type replicaSet struct {
+	clients []rpc.Client
+}
+
+// buildReplicaSet wires one client host against R replica servers.
+func buildReplicaSet(k *sim.Kernel, d *deployment, replicas int, straggle bool) *replicaSet {
+	net := newFabric(k, d)
+	cli := newHost(k, "client-0", net, d.hostCli, d)
+	out := &replicaSet{}
+	for i := 0; i < replicas; i++ {
+		hp := d.hostSrv
+		if straggle && i == replicas-1 && replicas > 1 {
+			hp.LoadFactor = 6
+		}
+		srv := newHost(k, fmt.Sprintf("replica-%d", i), net, hp, d)
+		store, err := rpc.NewStore(srv, d.objects, d.objSize)
+		if err != nil {
+			panic(err)
+		}
+		engine := rpc.NewServer(srv, store, d.cfg)
+		out.clients = append(out.clients, rpc.New(rpc.WFlushRPC, cli, engine, d.cfg))
+	}
+	return out
+}
+
+// Table1Extras measures the Table 1 systems the paper tabulates but does not
+// plot: Hotpot's multi-phase commit and Mojim's primary-backup mirroring,
+// against DaRPC (same primitive class) and the durable SFlush-RPC.
+func (o Options) Table1Extras() Table {
+	t := Table{
+		Title:  "Table 1 extras: send-based systems, write avg latency (us)",
+		Header: []string{"system", "1KB", "4KB"},
+		Notes:  "Hotpot pays two commit round trips; Mojim pays a mirroring hop; SFlush-RPC acknowledges at NIC persistence",
+	}
+	for _, kind := range []rpc.Kind{rpc.DaRPC, rpc.Hotpot, rpc.SFlushRPC} {
+		row := []string{kind.String()}
+		for _, size := range []int{1024, 4096} {
+			m := o.micro(kind, o.deploy(size), o.Ops/4, 0.0)
+			row = append(row, fmtUS(m.Lat.Mean()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	row := []string{"Mojim"}
+	for _, size := range []int{1024, 4096} {
+		row = append(row, fmtUS(o.mojimWrite(size)))
+	}
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// mojimWrite measures Mojim's mirrored write latency (needs two servers).
+func (o Options) mojimWrite(size int) time.Duration {
+	d := o.deploy(size)
+	k := sim.New()
+	net := newFabric(k, d)
+	cli := newHost(k, "client-0", net, d.hostCli, d)
+	ph := newHost(k, "primary", net, d.hostSrv, d)
+	mh := newHost(k, "mirror", net, d.hostSrv, d)
+	ps, err := rpc.NewStore(ph, d.objects, size)
+	if err != nil {
+		panic(err)
+	}
+	ms, err := rpc.NewStore(mh, d.objects, size)
+	if err != nil {
+		panic(err)
+	}
+	primary := rpc.NewServer(ph, ps, d.cfg)
+	mirror := rpc.NewServer(mh, ms, d.cfg)
+	client := rpc.NewMojim(cli, primary, mirror, d.cfg)
+	var total time.Duration
+	ops := o.Ops / 8
+	if ops == 0 {
+		ops = 1
+	}
+	k.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < ops; i++ {
+			r, err := client.Call(p, &rpc.Request{Op: rpc.OpWrite, Key: uint64(i % d.objects), Size: size})
+			if err != nil {
+				panic(err)
+			}
+			total += r.ReadyAt.Sub(r.IssuedAt)
+		}
+	})
+	k.Run()
+	return total / time.Duration(ops)
+}

@@ -1,0 +1,61 @@
+package bench
+
+import "testing"
+
+func TestFig7CaseStudy(t *testing.T) {
+	o := tiny()
+	tb := o.Fig7CaseStudy()
+	// Large objects: the NIC's DMA persist beats the receiver CPU's
+	// copy+clwb outright.
+	if flush, plain := cellF(t, &tb, "Octopus+WFlush", "64KB"), cellF(t, &tb, "Octopus", "64KB"); flush >= plain {
+		t.Errorf("64KB: Octopus+WFlush (%v) not faster than Octopus (%v)", flush, plain)
+	}
+	// Small objects: the emulated flush read adds at most a modest round
+	// trip over the plain RPC.
+	if flush, plain := cellF(t, &tb, "Octopus+WFlush", "1KB"), cellF(t, &tb, "Octopus", "1KB"); flush > plain*1.8 {
+		t.Errorf("1KB: Octopus+WFlush (%v) far above Octopus (%v)", flush, plain)
+	}
+}
+
+func TestReplicationTable(t *testing.T) {
+	o := tiny()
+	tb := o.Replication()
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Wait-all latency grows with R; quorum hides the straggler.
+	allR1 := cellF(t, &tb, "all, uniform", "R=1")
+	allR5 := cellF(t, &tb, "all, uniform", "R=5")
+	if allR5 < allR1 {
+		t.Errorf("wait-all R=5 (%v) below R=1 (%v)", allR5, allR1)
+	}
+	qs := cellF(t, &tb, "quorum, 1 straggler", "R=3")
+	as := cellF(t, &tb, "all, 1 straggler", "R=3")
+	if qs >= as {
+		t.Errorf("quorum with straggler (%v) not below wait-all (%v)", qs, as)
+	}
+	// The NIC chain serializes hops: R=3 costs more than R=1, and remains
+	// within a small multiple (forwarding overlaps persistence).
+	c1 := cellF(t, &tb, "chain (NIC offload)", "R=1")
+	c3 := cellF(t, &tb, "chain (NIC offload)", "R=3")
+	if c3 <= c1 {
+		t.Errorf("chain R=3 (%v) should exceed R=1 (%v)", c3, c1)
+	}
+}
+
+func TestTable1Extras(t *testing.T) {
+	o := tiny()
+	tb := o.Table1Extras()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	darpc := cellF(t, &tb, "DaRPC", "1KB")
+	hotpot := cellF(t, &tb, "Hotpot", "1KB")
+	mojim := cellF(t, &tb, "Mojim", "1KB")
+	if hotpot <= darpc {
+		t.Errorf("Hotpot (%v) should exceed DaRPC (%v): two phases", hotpot, darpc)
+	}
+	if mojim <= darpc {
+		t.Errorf("Mojim (%v) should exceed DaRPC (%v): mirroring hop", mojim, darpc)
+	}
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"prdma/internal/failure"
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+	"prdma/internal/ycsb"
+)
+
+// fig12Availabilities are the x-axis points of Fig. 12.
+var fig12Availabilities = []float64{0.99, 0.999, 0.9999, 0.99999}
+
+// Fig12 reproduces Fig. 12: total execution time of read/write mixes using
+// a durable RPC, normalized to a traditional RPC that must re-send
+// incomplete requests after a failure. Per DESIGN.md, the driver measures
+// clean throughput and per-crash recovery cost empirically, then
+// extrapolates to the paper's 1e9-operation run at each availability.
+func (o Options) Fig12() Table {
+	t := Table{
+		Title:  "Fig 12: normalized total time, W-RFlush-RPC vs re-send baseline (lower is better)",
+		Header: []string{"availability", "100%Read", "50%R+50%W", "100%Write"},
+		Notes:  "expect: <1 everywhere; lower with more writes; lower at lower availability",
+	}
+	mixes := []float64{1.0, 0.5, 0.0} // read fractions
+	durable := make([]failure.Measurement, len(mixes))
+	baseline := make([]failure.Measurement, len(mixes))
+	for i, rf := range mixes {
+		// W-RFlush is the durable representative: the paper recommends
+		// receiver-initiated flushes under load (§5.7), and the emulated
+		// WFlush's read-after-write probe serializes behind the DMA
+		// backlog when requests are pipelined.
+		//
+		// Pipelining semantics: early persistence visibility is what
+		// LICENSES pipelining mutations ("the sender can issue other RPC
+		// requests without waiting for the completion event", §4.2) — a
+		// traditional client must serialize dependent writes because it
+		// cannot tell when they are safe. Reads are safe to overlap for
+		// everyone.
+		durable[i] = o.failureRun(rpc.WRFlushRPC, rf, 8)
+		// Baseline effective overlap: reads overlap freely; writes
+		// serialize; a mix lands in between.
+		basePipe := 1 + int(rf*7)
+		baseline[i] = o.failureRun(rpc.FaRM, rf, basePipe)
+	}
+	const ops = int64(1e9)
+	restart := 300 * time.Millisecond
+	for _, a := range fig12Availabilities {
+		row := []string{fmt.Sprintf("%.3f%%", a*100)}
+		for i := range mixes {
+			norm := float64(durable[i].ExpectedTotal(ops, a, restart)) /
+				float64(baseline[i].ExpectedTotal(ops, a, restart))
+			row = append(row, fmt.Sprintf("%.3f", norm))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// failureRun measures one (kind, read-fraction) failure configuration with
+// the paper's real constants: ~300 ms unikernel restarts and the 100 ms
+// RDMA re-transfer interval. Virtual time is cheap during the idle waits,
+// so no scaling is needed.
+func (o Options) failureRun(kind rpc.Kind, readFrac float64, pipeline int) failure.Measurement {
+	d := o.deploy(4096, workers(3))
+	// A small real per-request processing cost (the paper's workloads do
+	// real work): the server is then the shared steady-state bottleneck
+	// and the normalized ratio isolates persistence-path and recovery
+	// differences.
+	d.cfg.ProcessingTime = 5 * time.Microsecond
+	c := d.build()
+	client := rpc.New(kind, c.cli[0], c.engine, d.cfg).(rpc.Recoverable)
+
+	fp := failure.Params{
+		Restart:      300 * time.Millisecond,
+		Retransfer:   100 * time.Millisecond,
+		Crashes:      5,
+		OpsPerWindow: o.Ops/10 + 100,
+		Pipeline:     pipeline,
+	}
+	drv := failure.NewDriver(c.k, c.server, c.engine, client, fp)
+	mix := ycsb.NewMix(readFrac, int64(d.objects), 4096, o.Seed)
+	payload := make([]byte, 4096)
+	var m failure.Measurement
+	c.k.Go("failure-driver", func(p *sim.Proc) {
+		m = drv.Run(p, func(i int) *rpc.Request {
+			req := mix.Next()
+			if req.Op == rpc.OpWrite {
+				req.Payload = payload // real bytes: entries must be recoverable
+			} else {
+				req.Payload = []byte{}
+			}
+			return req
+		})
+	})
+	c.k.Run()
+	// The scaled restart only affects measurement speed; recovery overhead
+	// beyond the restart is what PerCrashCost isolates, and ExpectedTotal
+	// re-applies the paper's real 300 ms restart.
+	return m
+}

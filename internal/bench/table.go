@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result shaped like the paper's plot.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries the paper-expectation reminder printed under the data.
+	Notes string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "-- %s\n", t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+// Cell looks a value up by row label and column name (tests use this).
+func (t *Table) Cell(rowLabel, col string) (string, bool) {
+	ci := -1
+	for i, h := range t.Header {
+		if h == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return "", false
+	}
+	for _, r := range t.Rows {
+		if len(r) > ci && r[0] == rowLabel {
+			return r[ci], true
+		}
+	}
+	return "", false
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes only where needed),
+// for plotting pipelines.
+func (t *Table) CSV(w io.Writer) error {
+	row := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := row(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Package dram is a volatile byte store: host main memory used for message
+// buffers and client-side indexes. Contents are lost on a crash. CPU access
+// latency is folded into the software-cost model (package host), so reads
+// and writes here are content operations only.
+package dram
+
+// pageSize is the sparse backing granularity.
+const pageSize = 4096
+
+// Memory is one host's DRAM.
+type Memory struct {
+	pages map[int64][]byte
+}
+
+// New returns empty memory.
+func New() *Memory { return &Memory{pages: make(map[int64][]byte)} }
+
+// Write stores b at addr. nil b is a no-op (timing-only traffic).
+func (m *Memory) Write(addr int64, b []byte) {
+	for len(b) > 0 {
+		page := addr / pageSize
+		off := int(addr % pageSize)
+		n := pageSize - off
+		if n > len(b) {
+			n = len(b)
+		}
+		pg, ok := m.pages[page]
+		if !ok {
+			pg = make([]byte, pageSize)
+			m.pages[page] = pg
+		}
+		copy(pg[off:], b[:n])
+		addr += int64(n)
+		b = b[n:]
+	}
+}
+
+// Read returns n bytes at addr; unwritten bytes read as zero.
+func (m *Memory) Read(addr int64, n int) []byte {
+	out := make([]byte, n)
+	o := 0
+	for o < n {
+		page := (addr + int64(o)) / pageSize
+		off := int((addr + int64(o)) % pageSize)
+		cnt := pageSize - off
+		if cnt > n-o {
+			cnt = n - o
+		}
+		if pg, ok := m.pages[page]; ok {
+			copy(out[o:o+cnt], pg[off:off+cnt])
+		}
+		o += cnt
+	}
+	return out
+}
+
+// Crash discards all contents: DRAM is volatile.
+func (m *Memory) Crash() { m.pages = make(map[int64][]byte) }

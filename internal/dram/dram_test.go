@@ -1,0 +1,59 @@
+package dram
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteRead(t *testing.T) {
+	m := New()
+	m.Write(100, []byte("hello"))
+	if got := m.Read(100, 5); string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCrossPage(t *testing.T) {
+	m := New()
+	data := bytes.Repeat([]byte{3}, 10000)
+	m.Write(pageSize-17, data)
+	if !bytes.Equal(m.Read(pageSize-17, 10000), data) {
+		t.Fatal("cross-page round trip failed")
+	}
+}
+
+func TestUnwrittenZero(t *testing.T) {
+	m := New()
+	if !bytes.Equal(m.Read(1<<40, 8), make([]byte, 8)) {
+		t.Fatal("unwritten DRAM should read zero")
+	}
+}
+
+func TestCrashClears(t *testing.T) {
+	m := New()
+	m.Write(0, []byte{1, 2, 3})
+	m.Crash()
+	if !bytes.Equal(m.Read(0, 3), []byte{0, 0, 0}) {
+		t.Fatal("DRAM survived crash")
+	}
+}
+
+func TestNilWriteNoop(t *testing.T) {
+	m := New()
+	m.Write(0, nil)
+	if len(m.pages) != 0 {
+		t.Fatal("nil write allocated pages")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(addr uint16, data []byte) bool {
+		m := New()
+		m.Write(int64(addr), data)
+		return bytes.Equal(m.Read(int64(addr), len(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package fabric models the RDMA interconnect (InfiniBand / RoCE in the
+// paper's testbed) at the level the experiments need: per-message delivery
+// latency composed of propagation, egress serialization with FIFO queueing,
+// and optional congestion from background traffic; plus message loss and
+// endpoint up/down state for the failure-recovery experiments.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"prdma/internal/sim"
+)
+
+// Params configures the network.
+type Params struct {
+	// Propagation is the one-way wire+switch latency.
+	Propagation time.Duration
+	// BytesPerSec is the link bandwidth (per direction, per endpoint).
+	BytesPerSec float64
+	// BusyQueueMean, when positive, adds an exponentially distributed
+	// queueing delay to every message: the "busy network" knob of Fig. 14,
+	// which the paper produces with a background flood of small packets.
+	BusyQueueMean time.Duration
+	// BusyBandwidthShare scales available bandwidth under load (0<s<=1);
+	// zero means 1 (no reduction).
+	BusyBandwidthShare float64
+	// DropProb is the per-message loss probability (failure experiments).
+	DropProb float64
+}
+
+// DefaultParams returns the ConnectX-4-like defaults from DESIGN.md §4.
+func DefaultParams() Params {
+	return Params{
+		Propagation: 800 * time.Nanosecond,
+		BytesPerSec: 5e9, // ~40 GbE
+	}
+}
+
+// Message is one unit of wire transfer. Payload is opaque to the fabric.
+type Message struct {
+	From, To string
+	Size     int
+	Payload  interface{}
+}
+
+// Network connects named endpoints.
+type Network struct {
+	K      *sim.Kernel
+	Params Params
+
+	endpoints map[string]*Endpoint
+	rng       *sim.Rand
+
+	// Stats.
+	Delivered int64
+	Dropped   int64
+	BytesSent int64
+}
+
+// New returns an empty network.
+func New(k *sim.Kernel, p Params, seed uint64) *Network {
+	return &Network{K: k, Params: p, endpoints: make(map[string]*Endpoint), rng: sim.NewRand(seed)}
+}
+
+// Endpoint is one NIC port attached to the network.
+type Endpoint struct {
+	Name string
+	Net  *Network
+
+	tx      *sim.Resource
+	up      bool
+	handler func(at sim.Time, m *Message)
+	// lastArrive enforces per-destination FIFO delivery so that RC/UC
+	// in-order semantics hold even under congestion jitter.
+	lastArrive map[string]sim.Time
+}
+
+// Attach creates an endpoint. The handler runs at message arrival time.
+func (n *Network) Attach(name string, handler func(at sim.Time, m *Message)) *Endpoint {
+	if _, dup := n.endpoints[name]; dup {
+		panic(fmt.Sprintf("fabric: duplicate endpoint %q", name))
+	}
+	e := &Endpoint{Name: name, Net: n, tx: sim.NewResource(n.K), up: true, handler: handler, lastArrive: make(map[string]sim.Time)}
+	n.endpoints[name] = e
+	return e
+}
+
+// SetHandler replaces the arrival handler (used when a NIC restarts).
+func (e *Endpoint) SetHandler(h func(at sim.Time, m *Message)) { e.handler = h }
+
+// Up reports whether the endpoint accepts traffic.
+func (e *Endpoint) Up() bool { return e.up }
+
+// SetUp changes the endpoint's availability. While down, inbound messages
+// are dropped silently (the sender's reliability layer times out and
+// retries, as real RC QPs do).
+func (e *Endpoint) SetUp(up bool) { e.up = up }
+
+// bandwidth returns effective egress bandwidth given the load knobs.
+func (n *Network) bandwidth() float64 {
+	bw := n.Params.BytesPerSec
+	if n.Params.BusyBandwidthShare > 0 && n.Params.BusyBandwidthShare < 1 {
+		bw *= n.Params.BusyBandwidthShare
+	}
+	return bw
+}
+
+// SerializeCost returns the egress serialization time for n bytes.
+func (n *Network) SerializeCost(size int) time.Duration {
+	bw := n.bandwidth()
+	if bw <= 0 || size <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / bw * 1e9)
+}
+
+// Send transmits m from endpoint e. It returns the time the message will
+// finish serializing onto the wire (when the sender-side NIC is free again).
+// Delivery to the destination handler is scheduled internally; lost or
+// down-endpoint messages are silently dropped — reliability is the QP
+// layer's job.
+func (e *Endpoint) Send(m *Message) sim.Time {
+	n := e.Net
+	m.From = e.Name
+	n.BytesSent += int64(m.Size)
+
+	txDone := e.tx.Reserve(n.SerializeCost(m.Size))
+
+	delay := n.Params.Propagation
+	if n.Params.BusyQueueMean > 0 {
+		delay += time.Duration(n.rng.Exp(float64(n.Params.BusyQueueMean)))
+	}
+	arrive := txDone.Add(delay)
+	if last := e.lastArrive[m.To]; arrive < last {
+		arrive = last
+	}
+	e.lastArrive[m.To] = arrive
+
+	if n.Params.DropProb > 0 && n.rng.Float64() < n.Params.DropProb {
+		n.Dropped++
+		return txDone
+	}
+	dst, ok := n.endpoints[m.To]
+	if !ok {
+		panic(fmt.Sprintf("fabric: send to unknown endpoint %q", m.To))
+	}
+	n.K.At(arrive, func() {
+		if !dst.up || dst.handler == nil {
+			n.Dropped++
+			return
+		}
+		n.Delivered++
+		dst.handler(arrive, m)
+	})
+	return txDone
+}
+
+// Endpoint returns a registered endpoint by name (nil if absent).
+func (n *Network) Endpoint(name string) *Endpoint { return n.endpoints[name] }
+
+// RTT estimates the round-trip time for a request of reqSize and a response
+// of respSize with no queueing, useful for calibration tests.
+func (n *Network) RTT(reqSize, respSize int) time.Duration {
+	return 2*n.Params.Propagation + n.SerializeCost(reqSize) + n.SerializeCost(respSize)
+}

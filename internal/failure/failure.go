@@ -1,0 +1,199 @@
+// Package failure drives the §5.4 failure-recovery experiment (Fig. 12):
+// RPC services deployed in unikernel-style VMs crash and restart in ~300 ms;
+// clients retry on the RDMA re-transfer interval (100 ms). Durable RPCs
+// replay persisted-but-unprocessed requests from the redo log after restart,
+// so only not-yet-durable requests are re-sent; the traditional baseline
+// re-sends every request whose completion it never observed.
+//
+// The client pipelines requests across a window of worker procs — the
+// natural usage of durable RPCs, whose whole point is issuing ahead of
+// processing. At a crash the baseline has a window's worth of unconfirmed
+// requests to re-send (with their data), while the durable client's
+// unconfirmed window is only as deep as the short persist-ack latency.
+//
+// The paper runs 1e9 operations per configuration; simulating that much
+// virtual time is wasteful. The driver instead measures the clean per-op
+// time and the actual per-crash overhead over several injected crashes,
+// then extrapolates the expected total for any availability level — the
+// quantity Fig. 12 normalizes (see Measurement.ExpectedTotal).
+package failure
+
+import (
+	"time"
+
+	"prdma/internal/host"
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+)
+
+// Params configures the failure experiment.
+type Params struct {
+	// Restart is the unikernel restart latency (paper: ~300 ms).
+	Restart time.Duration
+	// Retransfer is the RDMA packet re-transfer interval (paper: 100 ms).
+	Retransfer time.Duration
+	// Crashes is how many failures to inject while measuring.
+	Crashes int
+	// OpsPerWindow is how many operations run between injected crashes.
+	OpsPerWindow int
+	// Pipeline is the client-side issue window (worker procs).
+	Pipeline int
+}
+
+// DefaultParams returns the paper's constants with a measurement-friendly
+// crash count.
+func DefaultParams() Params {
+	return Params{
+		Restart:      300 * time.Millisecond,
+		Retransfer:   100 * time.Millisecond,
+		Crashes:      6,
+		OpsPerWindow: 240,
+		Pipeline:     16,
+	}
+}
+
+// Measurement is the outcome of one failure run.
+type Measurement struct {
+	Ops          int
+	Crashes      int
+	Replayed     int // ops recovered from the redo log (no client re-send)
+	Resent       int // ops the client had to re-issue over the wire
+	CleanPerOp   time.Duration
+	PerCrashCost time.Duration // recovery overhead beyond the restart time
+}
+
+// Driver runs the workload against one Recoverable client.
+type Driver struct {
+	K      *sim.Kernel
+	Server *host.Host
+	Engine *rpc.Server
+	Client rpc.Recoverable
+	P      Params
+
+	serverUp bool
+	// generation counts restarts so exactly one proc re-establishes the
+	// connection per crash; reconnecting holds the other procs off while
+	// the log recovery scan (which takes media-read time) is in flight.
+	generation   int
+	reestGen     int
+	reconnecting bool
+}
+
+// NewDriver wraps an established connection.
+func NewDriver(k *sim.Kernel, server *host.Host, engine *rpc.Server, client rpc.Recoverable, p Params) *Driver {
+	if p.Pipeline <= 0 {
+		p.Pipeline = 1
+	}
+	return &Driver{K: k, Server: server, Engine: engine, Client: client, P: p, serverUp: true}
+}
+
+// crash fails the server host and schedules its restart.
+func (d *Driver) crash() {
+	d.serverUp = false
+	d.Server.Crash()
+	d.Engine.Crash()
+	d.K.After(d.P.Restart, func() {
+		d.Server.Restart()
+		d.serverUp = true
+		d.generation++
+	})
+}
+
+// callUntilDone drives one operation to completion across any number of
+// crashes, counting re-sends, and waiting out restarts.
+func (d *Driver) callUntilDone(p *sim.Proc, req *rpc.Request, m *Measurement) {
+	attempts := 0
+	for {
+		for !d.serverUp {
+			p.Sleep(d.P.Retransfer)
+		}
+		if d.reestGen != d.generation {
+			d.reestGen = d.generation
+			d.reconnecting = true
+			m.Replayed += d.Client.Reestablish(p)
+			d.reconnecting = false
+		}
+		for d.reconnecting {
+			p.Sleep(10 * time.Microsecond)
+		}
+		attempts++
+		_, err := d.Client.CallTimeout(p, req, d.P.Retransfer)
+		if err == nil {
+			if attempts > 1 {
+				m.Resent += attempts - 1
+			}
+			return
+		}
+	}
+}
+
+// window issues n ops (generated from offset) through the pipeline and
+// waits for all of them.
+func (d *Driver) window(p *sim.Proc, n, offset int, gen func(i int) *rpc.Request, m *Measurement) {
+	wg := sim.NewWaitGroup(d.K)
+	next := offset
+	for w := 0; w < d.P.Pipeline; w++ {
+		wg.Add(1)
+		d.K.Go("failure-worker", func(wp *sim.Proc) {
+			defer wg.Done()
+			for {
+				i := next
+				if i >= offset+n {
+					return
+				}
+				next++
+				d.callUntilDone(wp, gen(i), m)
+				m.Ops++
+			}
+		})
+	}
+	wg.Wait(p)
+}
+
+// Run executes the workload: one clean window to calibrate, then P.Crashes
+// windows each with a crash injected mid-window while requests are in
+// flight. gen supplies the i-th request.
+func (d *Driver) Run(p *sim.Proc, gen func(i int) *rpc.Request) Measurement {
+	var m Measurement
+
+	cleanStart := p.Now()
+	d.window(p, d.P.OpsPerWindow, 0, gen, &m)
+	m.CleanPerOp = p.Now().Sub(cleanStart) / time.Duration(d.P.OpsPerWindow)
+
+	var recoveryCost time.Duration
+	for c := 0; c < d.P.Crashes; c++ {
+		start := p.Now()
+		// Crash strikes while the window's requests are in flight.
+		half := d.P.OpsPerWindow / 2
+		d.K.After(time.Duration(half)*m.CleanPerOp, func() { d.crash() })
+		d.window(p, d.P.OpsPerWindow, (c+1)*d.P.OpsPerWindow, gen, &m)
+		m.Crashes++
+		window := p.Now().Sub(start)
+		over := window - m.CleanPerOp*time.Duration(d.P.OpsPerWindow) - d.P.Restart
+		if over < 0 {
+			over = 0
+		}
+		recoveryCost += over
+	}
+	if m.Crashes > 0 {
+		m.PerCrashCost = recoveryCost / time.Duration(m.Crashes)
+	}
+	return m
+}
+
+// ExpectedTotal extrapolates the total execution time of `ops` operations at
+// the given availability, using the measured clean per-op time and per-crash
+// recovery overhead: the quantity Fig. 12 normalizes.
+//
+// downFrac = 1-A fixes the mean time between failures at
+// MTBF = restart*A/(1-A); the run then suffers T_clean/MTBF crashes, each
+// costing the restart plus the measured recovery overhead.
+func (m Measurement) ExpectedTotal(ops int64, availability float64, restart time.Duration) time.Duration {
+	clean := time.Duration(ops) * m.CleanPerOp
+	if availability >= 1 {
+		return clean
+	}
+	up := float64(restart) * availability / (1 - availability)
+	crashes := float64(clean) / up
+	return clean + time.Duration(crashes*float64(restart+m.PerCrashCost))
+}

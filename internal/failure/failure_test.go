@@ -1,0 +1,181 @@
+package failure
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"prdma/internal/fabric"
+	"prdma/internal/host"
+	"prdma/internal/pmem"
+	"prdma/internal/rnic"
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+)
+
+type rig struct {
+	k      *sim.Kernel
+	cli    *host.Host
+	srv    *host.Host
+	engine *rpc.Server
+}
+
+func newRig(t *testing.T, workers int) *rig {
+	t.Helper()
+	k := sim.New()
+	net := fabric.New(k, fabric.DefaultParams(), 11)
+	np := rnic.DefaultParams()
+	cli := host.New(k, "cli", net, host.DefaultParams(), pmem.DefaultParams(), np)
+	srv := host.New(k, "srv", net, host.DefaultParams(), pmem.DefaultParams(), np)
+	store, err := rpc.NewStore(srv, 256, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rpc.DefaultConfig()
+	cfg.Workers = workers
+	// Fig. 12 regime: real per-request processing makes the server the
+	// steady-state bottleneck for every system, so clean throughput is
+	// equal and the measured difference is recovery cost alone.
+	cfg.ProcessingTime = 20 * time.Microsecond
+	return &rig{k: k, cli: cli, srv: srv, engine: rpc.NewServer(srv, store, cfg)}
+}
+
+func payload(i int) []byte {
+	b := bytes.Repeat([]byte{byte(i)}, 1024)
+	return b
+}
+
+func writeGen(i int) *rpc.Request {
+	return &rpc.Request{Op: rpc.OpWrite, Key: uint64(i % 128), Size: 1024, Payload: payload(i)}
+}
+
+// shortParams keeps virtual time small for unit tests.
+func shortParams() Params {
+	return Params{
+		Restart:      5 * time.Millisecond,
+		Retransfer:   time.Millisecond,
+		Crashes:      3,
+		OpsPerWindow: 60,
+		Pipeline:     8,
+	}
+}
+
+func TestDurableSurvivesCrashesWithReplay(t *testing.T) {
+	r := newRig(t, 2)
+	c := rpc.New(rpc.WFlushRPC, r.cli, r.engine, r.engine.Cfg).(rpc.Recoverable)
+	d := NewDriver(r.k, r.srv, r.engine, c, shortParams())
+	var m Measurement
+	r.k.Go("driver", func(p *sim.Proc) { m = d.Run(p, writeGen) })
+	r.k.Run()
+	want := shortParams().OpsPerWindow * (shortParams().Crashes + 1)
+	if m.Ops != want {
+		t.Fatalf("ops = %d, want %d", m.Ops, want)
+	}
+	if m.Crashes != 3 {
+		t.Fatalf("crashes = %d", m.Crashes)
+	}
+	if m.Replayed == 0 {
+		t.Fatal("durable RPC recovered nothing from the log across 3 crashes")
+	}
+	if m.CleanPerOp <= 0 || m.PerCrashCost < 0 {
+		t.Fatalf("bad measurement: %+v", m)
+	}
+}
+
+func TestBaselineSurvivesCrashesWithResend(t *testing.T) {
+	r := newRig(t, 2)
+	c := rpc.New(rpc.FaRM, r.cli, r.engine, r.engine.Cfg).(rpc.Recoverable)
+	d := NewDriver(r.k, r.srv, r.engine, c, shortParams())
+	var m Measurement
+	r.k.Go("driver", func(p *sim.Proc) { m = d.Run(p, writeGen) })
+	r.k.Run()
+	want := shortParams().OpsPerWindow * (shortParams().Crashes + 1)
+	if m.Ops != want {
+		t.Fatalf("ops = %d, want %d", m.Ops, want)
+	}
+	if m.Resent == 0 {
+		t.Fatal("baseline resent nothing across 3 crashes")
+	}
+	if m.Replayed != 0 {
+		t.Fatal("baseline has no log to replay from")
+	}
+}
+
+func TestDurableResendsLessThanBaseline(t *testing.T) {
+	run := func(kind rpc.Kind) Measurement {
+		r := newRig(t, 2)
+		c := rpc.New(kind, r.cli, r.engine, r.engine.Cfg).(rpc.Recoverable)
+		p := shortParams()
+		p.Crashes = 5
+		d := NewDriver(r.k, r.srv, r.engine, c, p)
+		var m Measurement
+		r.k.Go("driver", func(pp *sim.Proc) { m = d.Run(pp, writeGen) })
+		r.k.Run()
+		return m
+	}
+	durable := run(rpc.WFlushRPC)
+	baseline := run(rpc.FaRM)
+	// The durable client recovers server-side from the log; the baseline
+	// has nothing to replay and can only re-send.
+	if durable.Replayed == 0 {
+		t.Fatal("durable client replayed nothing")
+	}
+	if baseline.Replayed != 0 {
+		t.Fatal("baseline replayed from a log it does not have")
+	}
+	// Extrapolated totals (the Fig. 12 quantity): the durable RPC must win
+	// at every availability level.
+	const ops = 1_000_000
+	restart := 300 * time.Millisecond
+	for _, a := range []float64{0.99999, 0.9999, 0.999, 0.99} {
+		norm := float64(durable.ExpectedTotal(ops, a, restart)) /
+			float64(baseline.ExpectedTotal(ops, a, restart))
+		if norm >= 1 {
+			t.Fatalf("normalized time %.3f >= 1 at availability %v", norm, a)
+		}
+	}
+}
+
+func TestRecoveredDataIntact(t *testing.T) {
+	// After crashes, every op that was issued must be applied exactly once
+	// or more (at-least-once), with intact contents: read back a sample.
+	r := newRig(t, 1)
+	c := rpc.New(rpc.WFlushRPC, r.cli, r.engine, r.engine.Cfg).(rpc.Recoverable)
+	p := shortParams()
+	p.Crashes = 2
+	p.Pipeline = 4
+	d := NewDriver(r.k, r.srv, r.engine, c, p)
+	r.k.Go("driver", func(pp *sim.Proc) {
+		d.Run(pp, writeGen)
+		// Drain processing, then spot-check several keys.
+		pp.Sleep(50 * time.Millisecond)
+		for _, i := range []int{1, 17, 42, 99} {
+			resp, err := c.CallTimeout(pp, &rpc.Request{Op: rpc.OpRead, Key: uint64(i % 128), Size: 1024, Payload: []byte{1}}, 100*time.Millisecond)
+			if err != nil {
+				t.Errorf("read key %d: %v", i, err)
+				continue
+			}
+			if len(resp.Data) != 1024 {
+				t.Errorf("key %d: got %d bytes", i, len(resp.Data))
+			}
+		}
+	})
+	r.k.Run()
+}
+
+func TestExpectedTotalMonotonicity(t *testing.T) {
+	m := Measurement{CleanPerOp: 10 * time.Microsecond, PerCrashCost: 20 * time.Millisecond}
+	restart := 300 * time.Millisecond
+	prev := time.Duration(1 << 62)
+	for _, a := range []float64{0.99, 0.999, 0.9999, 0.99999} {
+		tot := m.ExpectedTotal(1e6, a, restart)
+		if tot >= prev {
+			t.Fatalf("expected total not decreasing with availability: %v at %v", tot, a)
+		}
+		prev = tot
+	}
+	clean := m.ExpectedTotal(1e6, 1.0, restart)
+	if clean != time.Duration(1e6)*m.CleanPerOp {
+		t.Fatalf("clean total = %v", clean)
+	}
+}

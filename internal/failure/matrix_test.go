@@ -1,0 +1,67 @@
+package failure
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"prdma/internal/fabric"
+	"prdma/internal/host"
+	"prdma/internal/pmem"
+	"prdma/internal/rnic"
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+)
+
+// TestRecoveryMatrix drives the crash/restart/replay protocol through every
+// durable RPC family in both flush modes: the Reestablish paths differ
+// (write pollers vs send receivers, native FlushSink rewiring, PM- vs
+// DRAM-resident receive buffers) and each must survive crashes.
+func TestRecoveryMatrix(t *testing.T) {
+	for _, emulate := range []bool{true, false} {
+		for _, kind := range rpc.DurableKinds {
+			kind := kind
+			emulate := emulate
+			t.Run(fmt.Sprintf("%v/emulate=%v", kind, emulate), func(t *testing.T) {
+				k := sim.New()
+				net := fabric.New(k, fabric.DefaultParams(), 13)
+				np := rnic.DefaultParams()
+				np.EmulateFlush = emulate
+				cli := host.New(k, "cli", net, host.DefaultParams(), pmem.DefaultParams(), np)
+				srv := host.New(k, "srv", net, host.DefaultParams(), pmem.DefaultParams(), np)
+				store, err := rpc.NewStore(srv, 128, 1024)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := rpc.DefaultConfig()
+				cfg.Workers = 2
+				cfg.ProcessingTime = 15 * time.Microsecond
+				engine := rpc.NewServer(srv, store, cfg)
+				client := rpc.New(kind, cli, engine, cfg).(rpc.Recoverable)
+				d := NewDriver(k, srv, engine, client, Params{
+					Restart:      4 * time.Millisecond,
+					Retransfer:   time.Millisecond,
+					Crashes:      3,
+					OpsPerWindow: 80,
+					Pipeline:     6,
+				})
+				var m Measurement
+				k.Go("driver", func(p *sim.Proc) {
+					m = d.Run(p, func(i int) *rpc.Request {
+						return &rpc.Request{Op: rpc.OpWrite, Key: uint64(i % 128), Size: 1024, Payload: payload(i)}
+					})
+				})
+				k.Run()
+				if m.Ops != 80*4 {
+					t.Fatalf("ops = %d, want %d (driver stalled?)", m.Ops, 80*4)
+				}
+				if m.Crashes != 3 {
+					t.Fatalf("crashes = %d", m.Crashes)
+				}
+				if m.Replayed == 0 {
+					t.Fatalf("%v recovered nothing from the log", kind)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package graph provides the PageRank macro-benchmark of §5.3 (Fig. 10):
+// the graph lives in a remote server's PM, adjacency lists are fetched over
+// RPCs, and ranks are computed in the client's local memory.
+//
+// The paper's datasets (wordassociation-2011, enron, dblp-2010) matter to
+// the experiment only through their node/edge counts and degree skew, so we
+// generate deterministic power-law graphs at the published sizes.
+package graph
+
+import (
+	"fmt"
+	"time"
+
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+)
+
+// Graph is a directed graph in CSR form.
+type Graph struct {
+	Name string
+	// Offsets has N+1 entries; Edges[Offsets[v]:Offsets[v+1]] are v's
+	// out-neighbours.
+	Offsets []int32
+	Edges   []int32
+}
+
+// Nodes returns the vertex count.
+func (g *Graph) Nodes() int { return len(g.Offsets) - 1 }
+
+// EdgeCount returns the edge count.
+func (g *Graph) EdgeCount() int { return len(g.Edges) }
+
+// Degree returns v's out-degree.
+func (g *Graph) Degree(v int32) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns v's out-neighbours.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Dataset describes one of the paper's graphs.
+type Dataset struct {
+	Name  string
+	Nodes int
+	Edges int
+}
+
+// The paper's three datasets (§5.1).
+var (
+	WordAssociation = Dataset{"wordassociation-2011", 10_000, 72_000}
+	Enron           = Dataset{"enron", 69_000, 276_000}
+	DBLP            = Dataset{"dblp-2010", 326_000, 1_615_000}
+)
+
+// Datasets lists them in the paper's order.
+var Datasets = []Dataset{WordAssociation, Enron, DBLP}
+
+// Generate builds a deterministic power-law graph with ds's node and edge
+// counts using a preferential-attachment edge sampler.
+func Generate(ds Dataset, seed uint64) *Graph {
+	rng := sim.NewRand(seed)
+	n := ds.Nodes
+	m := ds.Edges
+
+	// Sample destination endpoints preferentially (power-law in-degree)
+	// and sources near-uniformly, mirroring web-like graphs.
+	deg := make([]int32, n)
+	type edge struct{ src, dst int32 }
+	edges := make([]edge, 0, m)
+	// endpointPool repeats vertices proportionally to current degree.
+	pool := make([]int32, 0, 2*m)
+	for i := 0; i < n; i++ {
+		pool = append(pool, int32(i)) // every vertex seeds the pool once
+	}
+	for len(edges) < m {
+		src := int32(rng.Intn(n))
+		var dst int32
+		if rng.Float64() < 0.7 {
+			dst = pool[rng.Intn(len(pool))] // preferential
+		} else {
+			dst = int32(rng.Intn(n))
+		}
+		if dst == src {
+			continue
+		}
+		edges = append(edges, edge{src, dst})
+		pool = append(pool, dst)
+		deg[src]++
+	}
+
+	g := &Graph{Name: ds.Name, Offsets: make([]int32, n+1), Edges: make([]int32, m)}
+	for v := 0; v < n; v++ {
+		g.Offsets[v+1] = g.Offsets[v] + deg[v]
+	}
+	cursor := make([]int32, n)
+	copy(cursor, g.Offsets[:n])
+	for _, e := range edges {
+		g.Edges[cursor[e.src]] = e.dst
+		cursor[e.src]++
+	}
+	return g
+}
+
+// PageRank runs the computation against a remote graph store.
+type PageRank struct {
+	G *Graph
+	// Client fetches adjacency data from the server's PM.
+	Client rpc.Client
+	// Damping is the PageRank damping factor.
+	Damping float64
+	// Iterations per run (the rank vector converges in ~10–20; the
+	// benchmark's shape is per-iteration, so fewer keep runs fast).
+	Iterations int
+	// ChunkBytes caps a single adjacency fetch; longer lists take
+	// multiple RPCs (the server's slot size bounds one response).
+	ChunkBytes int
+
+	// Ranks holds the result after Run.
+	Ranks []float64
+	// Fetches counts adjacency RPCs issued.
+	Fetches int64
+}
+
+// edgeBytes is the wire size of one adjacency entry.
+const edgeBytes = 4
+
+// Run executes PageRank, fetching every vertex's adjacency list from the
+// remote store each iteration and combining ranks locally.
+func (pr *PageRank) Run(p *sim.Proc, h computeHost) error {
+	n := pr.G.Nodes()
+	if pr.Damping == 0 {
+		pr.Damping = 0.85
+	}
+	if pr.Iterations == 0 {
+		pr.Iterations = 5
+	}
+	if pr.ChunkBytes == 0 {
+		pr.ChunkBytes = 60 * 1024
+	}
+	ranks := make([]float64, n)
+	next := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1 / float64(n)
+	}
+	for it := 0; it < pr.Iterations; it++ {
+		for i := range next {
+			next[i] = (1 - pr.Damping) / float64(n)
+		}
+		for v := int32(0); v < int32(n); v++ {
+			deg := pr.G.Degree(v)
+			if deg == 0 {
+				continue
+			}
+			// Fetch the adjacency list from remote PM (chunked).
+			remain := deg * edgeBytes
+			for remain > 0 {
+				sz := remain
+				if sz > pr.ChunkBytes {
+					sz = pr.ChunkBytes
+				}
+				pr.Fetches++
+				if _, err := pr.Client.Call(p, &rpc.Request{Op: rpc.OpRead, Key: uint64(v), Size: sz}); err != nil {
+					return fmt.Errorf("pagerank: fetch v%d: %w", v, err)
+				}
+				remain -= sz
+			}
+			// Local combine: real arithmetic plus a modelled CPU cost.
+			share := pr.Damping * ranks[v] / float64(deg)
+			for _, u := range pr.G.Neighbors(v) {
+				next[u] += share
+			}
+			h.Compute(p, time.Duration(20+2*deg)*time.Nanosecond)
+		}
+		ranks, next = next, ranks
+	}
+	pr.Ranks = ranks
+	return nil
+}
+
+// computeHost is the slice of host.Host the driver needs (keeps tests free
+// to fake the CPU model).
+type computeHost interface {
+	Compute(p *sim.Proc, d time.Duration)
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"prdma/internal/fabric"
+	"prdma/internal/host"
+	"prdma/internal/pmem"
+	"prdma/internal/rnic"
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+)
+
+func TestGenerateMatchesDataset(t *testing.T) {
+	for _, ds := range []Dataset{WordAssociation, {Name: "tiny", Nodes: 100, Edges: 500}} {
+		g := Generate(ds, 1)
+		if g.Nodes() != ds.Nodes {
+			t.Fatalf("%s: nodes %d want %d", ds.Name, g.Nodes(), ds.Nodes)
+		}
+		if g.EdgeCount() != ds.Edges {
+			t.Fatalf("%s: edges %d want %d", ds.Name, g.EdgeCount(), ds.Edges)
+		}
+	}
+}
+
+func TestGenerateCSRConsistent(t *testing.T) {
+	g := Generate(Dataset{Name: "t", Nodes: 500, Edges: 3000}, 2)
+	total := 0
+	for v := int32(0); v < int32(g.Nodes()); v++ {
+		nb := g.Neighbors(v)
+		total += len(nb)
+		if len(nb) != g.Degree(v) {
+			t.Fatal("degree mismatch")
+		}
+		for _, u := range nb {
+			if u < 0 || int(u) >= g.Nodes() {
+				t.Fatalf("edge target %d out of range", u)
+			}
+			if u == v {
+				t.Fatal("self loop generated")
+			}
+		}
+	}
+	if total != g.EdgeCount() {
+		t.Fatalf("CSR total %d != %d", total, g.EdgeCount())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Dataset{Name: "t", Nodes: 200, Edges: 1000}, 5)
+	b := Generate(Dataset{Name: "t", Nodes: 200, Edges: 1000}, 5)
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateSkewedInDegree(t *testing.T) {
+	g := Generate(Dataset{Name: "t", Nodes: 2000, Edges: 20000}, 3)
+	in := make([]int, g.Nodes())
+	for _, u := range g.Edges {
+		in[u]++
+	}
+	max := 0
+	for _, d := range in {
+		if d > max {
+			max = d
+		}
+	}
+	mean := float64(g.EdgeCount()) / float64(g.Nodes())
+	if float64(max) < 3*mean {
+		t.Fatalf("in-degree not skewed: max %d vs mean %.1f", max, mean)
+	}
+}
+
+type fakeHost struct{}
+
+func (fakeHost) Compute(p *sim.Proc, d time.Duration) { p.Sleep(d) }
+
+func TestPageRankOverRPC(t *testing.T) {
+	k := sim.New()
+	net := fabric.New(k, fabric.DefaultParams(), 3)
+	cli := host.New(k, "cli", net, host.DefaultParams(), pmem.DefaultParams(), rnic.DefaultParams())
+	srv := host.New(k, "srv", net, host.DefaultParams(), pmem.DefaultParams(), rnic.DefaultParams())
+	g := Generate(Dataset{Name: "t", Nodes: 300, Edges: 1500}, 4)
+	store, err := rpc.NewStore(srv, g.Nodes(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := rpc.NewServer(srv, store, rpc.DefaultConfig())
+	c := rpc.New(rpc.WFlushRPC, cli, engine, engine.Cfg)
+
+	pr := &PageRank{G: g, Client: c, Iterations: 3}
+	var runErr error
+	k.Go("pagerank", func(p *sim.Proc) { runErr = pr.Run(p, fakeHost{}) })
+	k.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	// Rank vector is a probability distribution.
+	sum := 0.0
+	for _, r := range pr.Ranks {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 0.15 {
+		t.Fatalf("ranks sum to %.3f", sum)
+	}
+	if pr.Fetches == 0 {
+		t.Fatal("no adjacency fetches over RPC")
+	}
+	if k.Now() == 0 {
+		t.Fatal("run consumed no virtual time")
+	}
+}
+
+func TestPageRankChunksLargeAdjacency(t *testing.T) {
+	k := sim.New()
+	net := fabric.New(k, fabric.DefaultParams(), 3)
+	cli := host.New(k, "cli", net, host.DefaultParams(), pmem.DefaultParams(), rnic.DefaultParams())
+	srv := host.New(k, "srv", net, host.DefaultParams(), pmem.DefaultParams(), rnic.DefaultParams())
+	// Star graph: vertex 0 points at everyone — one huge adjacency list.
+	n := 3000
+	g := &Graph{Name: "star", Offsets: make([]int32, n+1), Edges: make([]int32, n-1)}
+	for i := 1; i < n; i++ {
+		g.Edges[i-1] = int32(i)
+	}
+	for i := 1; i <= n; i++ {
+		g.Offsets[i] = int32(n - 1)
+	}
+	store, _ := rpc.NewStore(srv, 16, 4096)
+	engine := rpc.NewServer(srv, store, rpc.DefaultConfig())
+	c := rpc.New(rpc.FaRM, cli, engine, engine.Cfg)
+	pr := &PageRank{G: g, Client: c, Iterations: 1, ChunkBytes: 4096}
+	k.Go("pr", func(p *sim.Proc) {
+		if err := pr.Run(p, fakeHost{}); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	want := int64((n-1)*edgeBytes+4095) / 4096
+	if pr.Fetches != want {
+		t.Fatalf("fetches = %d, want %d (chunked)", pr.Fetches, want)
+	}
+}
+
+func TestPaperDatasetsDeclared(t *testing.T) {
+	if len(Datasets) != 3 {
+		t.Fatal("expected 3 paper datasets")
+	}
+	if DBLP.Nodes != 326000 || DBLP.Edges != 1615000 {
+		t.Fatal("dblp-2010 sizes wrong")
+	}
+	if WordAssociation.Nodes != 10000 || Enron.Edges != 276000 {
+		t.Fatal("dataset sizes wrong")
+	}
+}

@@ -1,0 +1,181 @@
+// Package host assembles one machine of the testbed — CPU cores, DRAM, PM,
+// LLC, and an RNIC — and models the software costs the paper's breakdown
+// (Fig. 20) attributes to the sender and receiver: posting work requests,
+// polling completion/message buffers, dispatching handlers, memcpy, and
+// CPU-path persists. A load factor inflates software costs to reproduce the
+// busy-sender/busy-receiver experiments (Figs. 15 and 16).
+package host
+
+import (
+	"time"
+
+	"prdma/internal/cache"
+	"prdma/internal/dram"
+	"prdma/internal/fabric"
+	"prdma/internal/pmem"
+	"prdma/internal/rnic"
+	"prdma/internal/sim"
+)
+
+// Address-space layout: every host maps PM low and DRAM high. The regions
+// are sparse, so the sizes are generous.
+const (
+	PMBase   = int64(0)
+	PMSize   = int64(1) << 40
+	DRAMBase = int64(1) << 44
+	DRAMSize = int64(1) << 40
+)
+
+// Params configures the software-cost model of one host.
+type Params struct {
+	// PostWR is the CPU cost of posting one work request (doorbell).
+	PostWR time.Duration
+	// PollDetect is the latency from data landing in a polled buffer to
+	// the polling thread noticing it.
+	PollDetect time.Duration
+	// Dispatch is the cost of handing a request to a worker.
+	Dispatch time.Duration
+	// MemcpyBytesPerSec is the DRAM-to-DRAM copy bandwidth.
+	MemcpyBytesPerSec float64
+	// LoadFactor scales all software costs; 1 = idle host. The busy-CPU
+	// experiments use ~4.
+	LoadFactor float64
+	// JitterSigma adds log-normal jitter (sigma of the underlying normal)
+	// to software costs; this is what gives RPC latency its tail.
+	JitterSigma float64
+}
+
+// DefaultParams returns the Xeon-like defaults from DESIGN.md §4.
+func DefaultParams() Params {
+	return Params{
+		PostWR:            200 * time.Nanosecond,
+		PollDetect:        300 * time.Nanosecond,
+		Dispatch:          500 * time.Nanosecond,
+		MemcpyBytesPerSec: 10e9,
+		LoadFactor:        1.0,
+		JitterSigma:       0.25,
+	}
+}
+
+// Host is one machine.
+type Host struct {
+	K      *sim.Kernel
+	Name   string
+	Params Params
+
+	PM   *pmem.Device
+	LLC  *cache.LLC
+	DRAM *dram.Memory
+	NIC  *rnic.NIC
+
+	// PMArena and DRAMArena hand out addresses in the two regions.
+	PMArena   *pmem.Arena
+	DRAMArena *pmem.Arena
+
+	rng *sim.Rand
+
+	// Crashes counts host failures (for the recovery experiments).
+	Crashes int
+	// SWTime accumulates all software-model time spent on this host; the
+	// Fig. 20 breakdown divides it by operations.
+	SWTime time.Duration
+}
+
+// New builds a host and attaches its NIC to net.
+func New(k *sim.Kernel, name string, net *fabric.Network, hp Params, pp pmem.Params, np rnic.Params) *Host {
+	h := &Host{K: k, Name: name, Params: hp, rng: sim.NewRand(hashName(name))}
+	h.PM = pmem.New(k, pp)
+	h.LLC = cache.New(k, h.PM)
+	h.DRAM = dram.New()
+	h.NIC = rnic.New(k, name, net, h.PM, h.LLC, h.DRAM, np)
+	h.registerMRs()
+	h.PMArena = pmem.NewArena(PMBase, PMSize)
+	h.DRAMArena = pmem.NewArena(DRAMBase, DRAMSize)
+	return h
+}
+
+func (h *Host) registerMRs() {
+	h.NIC.RegisterMR(PMBase, PMSize, rnic.MemPM)
+	h.NIC.RegisterMR(DRAMBase, DRAMSize, rnic.MemDRAM)
+}
+
+func hashName(s string) uint64 {
+	var x uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= 1099511628211
+	}
+	return x
+}
+
+// cost scales d by the load factor and jitter.
+func (h *Host) cost(d time.Duration) time.Duration {
+	lf := h.Params.LoadFactor
+	if lf <= 0 {
+		lf = 1
+	}
+	out := time.Duration(float64(d) * lf)
+	if s := h.Params.JitterSigma; s > 0 && out > 0 {
+		// Normalize the log-normal so its mean is 1.
+		j := h.rng.LogNorm(-s*s/2, s)
+		out = time.Duration(float64(out) * j)
+	}
+	return out
+}
+
+// spend sleeps p for d and accounts it as software time.
+func (h *Host) spend(p *sim.Proc, d time.Duration) {
+	h.SWTime += d
+	p.Sleep(d)
+}
+
+// Compute burns d of CPU time (scaled by load and jitter) on proc p.
+func (h *Host) Compute(p *sim.Proc, d time.Duration) {
+	h.spend(p, h.cost(d))
+}
+
+// ComputeExact burns exactly d — no load scaling, no jitter — for injected
+// workload components that the paper holds constant (the 100 µs "RPC
+// processing" of Fig. 8).
+func (h *Host) ComputeExact(p *sim.Proc, d time.Duration) {
+	h.spend(p, d)
+}
+
+// Post charges the work-request posting cost.
+func (h *Host) Post(p *sim.Proc) { h.spend(p, h.cost(h.Params.PostWR)) }
+
+// PollDelay charges the polling-detection latency.
+func (h *Host) PollDelay(p *sim.Proc) { h.spend(p, h.cost(h.Params.PollDetect)) }
+
+// Dispatch charges the handler hand-off cost.
+func (h *Host) Dispatch(p *sim.Proc) { h.spend(p, h.cost(h.Params.Dispatch)) }
+
+// Memcpy charges a CPU copy of n bytes.
+func (h *Host) Memcpy(p *sim.Proc, n int) {
+	c := sim.CostModel{BytesPerSec: h.Params.MemcpyBytesPerSec}
+	h.spend(p, h.cost(c.Cost(n)))
+}
+
+// PersistCPU copies data into PM over the CPU store+clwb path and blocks p
+// until it is durable. This is the receiver-side persist of traditional
+// RPCs — note its bandwidth disadvantage versus the NIC's DMA path.
+func (h *Host) PersistCPU(p *sim.Proc, addr int64, n int, data []byte) {
+	h.PM.PersistSync(p, addr, n, data, pmem.CPU)
+}
+
+// Crash fails the host: NIC SRAM, LLC and DRAM contents are lost; PM
+// survives. The caller is responsible for restart choreography.
+func (h *Host) Crash() {
+	h.Crashes++
+	h.NIC.Crash()
+	h.PM.Crash()
+	h.LLC.Crash()
+	h.DRAM.Crash()
+}
+
+// Restart brings the NIC back up. Applications re-create QPs and rebuild
+// volatile state (from PM where they can — that is the point of the paper).
+func (h *Host) Restart() {
+	h.NIC.Restart()
+	h.registerMRs()
+}

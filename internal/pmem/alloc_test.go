@@ -1,0 +1,114 @@
+package pmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArenaAllocBasic(t *testing.T) {
+	a := NewArena(0, 1<<20)
+	x, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x == y {
+		t.Fatal("overlapping allocations")
+	}
+	if x%64 != 0 || y%64 != 0 {
+		t.Fatal("unaligned allocation")
+	}
+	if a.InUse() != 2 {
+		t.Fatalf("InUse = %d", a.InUse())
+	}
+}
+
+func TestArenaReuseAfterFree(t *testing.T) {
+	a := NewArena(4096, 1<<20)
+	x, _ := a.Alloc(200)
+	a.Free(x)
+	y, _ := a.Alloc(200)
+	if x != y {
+		t.Fatalf("freed block not reused: %#x vs %#x", x, y)
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	a := NewArena(0, 256)
+	if _, err := a.Alloc(128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+func TestArenaDoubleFreePanics(t *testing.T) {
+	a := NewArena(0, 1<<20)
+	x, _ := a.Alloc(64)
+	a.Free(x)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Free(x)
+}
+
+func TestArenaAllocZeroErrors(t *testing.T) {
+	a := NewArena(0, 1<<20)
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("expected error for zero-size alloc")
+	}
+}
+
+func TestClassRounding(t *testing.T) {
+	cases := map[int64]int64{1: 64, 64: 64, 65: 128, 4096: 4096, 4097: 8192}
+	for n, want := range cases {
+		if got := class(n); got != want {
+			t.Errorf("class(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: live allocations never overlap.
+func TestArenaNoOverlapProperty(t *testing.T) {
+	f := func(sizes []uint16, frees []uint8) bool {
+		a := NewArena(0, 1<<24)
+		var live []int64
+		sz := make(map[int64]int64)
+		for i, s := range sizes {
+			n := int64(s%8192) + 1
+			addr, err := a.Alloc(n)
+			if err != nil {
+				return true // exhaustion is fine
+			}
+			live = append(live, addr)
+			sz[addr] = class(n)
+			// Occasionally free something.
+			if len(frees) > 0 && i < len(frees) && frees[i]%3 == 0 && len(live) > 0 {
+				j := int(frees[i]) % len(live)
+				a.Free(live[j])
+				delete(sz, live[j])
+				live = append(live[:j], live[j+1:]...)
+			}
+		}
+		// Check pairwise disjointness of live blocks.
+		addrs := a.Live()
+		for i := 0; i < len(addrs)-1; i++ {
+			if addrs[i]+sz[addrs[i]] > addrs[i+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package pmem models a byte-addressable persistent-memory device (Intel
+// Optane DCPMM in the paper's testbed).
+//
+// The model captures the three properties the paper's results rest on:
+//
+//  1. Persisting data costs time: a base latency plus a bandwidth term, with
+//     FIFO queueing when multiple agents (NIC DMA engine, CPU clwb path)
+//     contend for the media.
+//  2. The CPU persist path (store + clwb/clflush-opt) has lower bandwidth
+//     than the NIC's DMA path; this asymmetry is why RNIC-side flushing wins
+//     for large objects.
+//  3. Durability is delayed: bytes become durable only when their persist
+//     operation completes. A crash before completion loses (part of) the
+//     write; writes larger than an atomic unit may tear.
+//
+// Contents are stored sparsely (4 KiB pages allocated on demand). Callers
+// that only need timing — the throughput experiments move gigabytes of
+// synthetic payload — pass nil data and no memory is touched.
+package pmem
+
+import (
+	"fmt"
+	"time"
+
+	"prdma/internal/sim"
+)
+
+// PageSize is the sparse backing-store granularity.
+const PageSize = 4096
+
+// AtomicUnit is the size of a failure-atomic write (an aligned 8-byte store,
+// as the paper uses for the redo-log operator entry).
+const AtomicUnit = 8
+
+// tornChunks caps how many separately-durable pieces a large persist is
+// split into. Tearing granularity only needs to exist for the crash-safety
+// proofs; more pieces would just multiply event count.
+const tornChunks = 8
+
+// Params configures a device.
+type Params struct {
+	// PersistBase is the fixed latency of any persist operation.
+	PersistBase time.Duration
+	// DMABytesPerSec is the NIC-DMA persist bandwidth.
+	DMABytesPerSec float64
+	// CPUBytesPerSec is the CPU store+clwb persist bandwidth.
+	CPUBytesPerSec float64
+	// ReadBase and ReadBytesPerSec model media reads.
+	ReadBase        time.Duration
+	ReadBytesPerSec float64
+	// Channels is the number of independently-queued media channels
+	// (interleaved DIMMs). Requests map to channels by address block, as
+	// the Optane AIT interleaving does. Zero means 4.
+	Channels int
+}
+
+// DefaultParams returns the Optane-like defaults from DESIGN.md §4.
+func DefaultParams() Params {
+	return Params{
+		PersistBase:     500 * time.Nanosecond,
+		DMABytesPerSec:  2e9,
+		CPUBytesPerSec:  1e9,
+		ReadBase:        300 * time.Nanosecond,
+		ReadBytesPerSec: 6e9,
+		Channels:        4,
+	}
+}
+
+// Path selects which agent persists and therefore which bandwidth applies.
+type Path int
+
+const (
+	// DMA is the RNIC's direct path to the persistence domain.
+	DMA Path = iota
+	// CPU is the store + clwb path through the cache hierarchy.
+	CPU
+)
+
+func (p Path) String() string {
+	if p == DMA {
+		return "dma"
+	}
+	return "cpu"
+}
+
+// Device is one PM module.
+type Device struct {
+	K      *sim.Kernel
+	Params Params
+
+	pages map[int64][]byte
+	media []*sim.Resource
+
+	// epoch invalidates in-flight persist completions on crash.
+	epoch int
+
+	// Stats.
+	PersistOps   int64
+	PersistBytes int64
+	ReadOps      int64
+	TornWrites   int64
+}
+
+// New returns a device bound to kernel k.
+func New(k *sim.Kernel, p Params) *Device {
+	if p.Channels <= 0 {
+		p.Channels = 4
+	}
+	d := &Device{K: k, Params: p, pages: make(map[int64][]byte)}
+	for i := 0; i < p.Channels; i++ {
+		d.media = append(d.media, sim.NewResource(k))
+	}
+	return d
+}
+
+// channelBlock is the interleave granularity across media channels.
+const channelBlock = 4096
+
+// channel maps an address to its media channel.
+func (d *Device) channel(addr int64) *sim.Resource {
+	idx := int(addr/channelBlock) % len(d.media)
+	if idx < 0 {
+		idx = -idx
+	}
+	return d.media[idx]
+}
+
+// bandwidth returns the bytes/sec for the chosen path.
+func (d *Device) bandwidth(path Path) float64 {
+	if path == CPU {
+		return d.Params.CPUBytesPerSec
+	}
+	return d.Params.DMABytesPerSec
+}
+
+// PersistCost returns the service time to persist n bytes over path,
+// excluding queueing.
+func (d *Device) PersistCost(n int, path Path) time.Duration {
+	c := sim.CostModel{Base: d.Params.PersistBase, BytesPerSec: d.bandwidth(path)}
+	return c.Cost(n)
+}
+
+// Persist schedules a durable write of n bytes at media address addr,
+// starting no earlier than `at`, and returns the completion time. data may
+// be nil for timing-only traffic, or shorter than n, in which case only the
+// prefix carries real contents while the full n bytes are timed (used for
+// synthetic payloads with real headers).
+//
+// The write becomes durable piecewise: up to tornChunks sub-ranges are
+// applied to the media at evenly spaced points across the service interval,
+// so a crash mid-persist leaves a prefix durable. Writes of AtomicUnit bytes
+// or less are applied in a single step (failure-atomic).
+func (d *Device) Persist(at sim.Time, addr int64, n int, data []byte, path Path) sim.Time {
+	if len(data) > n {
+		panic(fmt.Sprintf("pmem: len(data)=%d > n=%d", len(data), n))
+	}
+	if n < 0 {
+		panic("pmem: negative persist size")
+	}
+	d.PersistOps++
+	d.PersistBytes += int64(n)
+	service := d.PersistCost(n, path)
+	ch := d.channel(addr)
+	start := at
+	if nf := ch.NextFree(); nf > start {
+		start = nf
+	}
+	end := ch.ReserveAt(at, service)
+
+	epoch := d.epoch
+	if data == nil {
+		return end
+	}
+	// Apply data in chunks spread across [start, end].
+	chunks := tornChunks
+	if n <= AtomicUnit || n < chunks {
+		chunks = 1
+	}
+	if chunks > 1 {
+		d.TornWrites++
+	}
+	per := n / chunks
+	off := 0
+	for i := 0; i < chunks; i++ {
+		sz := per
+		if i == chunks-1 {
+			sz = n - off
+		}
+		frac := float64(i+1) / float64(chunks)
+		when := start.Add(time.Duration(float64(end.Sub(start)) * frac))
+		cAddr, cOff, cSz := addr+int64(off), off, sz
+		d.K.At(when, func() {
+			if d.epoch != epoch {
+				return // lost in a crash
+			}
+			if cOff >= len(data) {
+				return // synthetic tail: timed but contentless
+			}
+			hi := cOff + cSz
+			if hi > len(data) {
+				hi = len(data)
+			}
+			d.write(cAddr, data[cOff:hi])
+		})
+		off += sz
+	}
+	return end
+}
+
+// PersistSync persists and blocks p until durable.
+func (d *Device) PersistSync(p *sim.Proc, addr int64, n int, data []byte, path Path) {
+	end := d.Persist(p.K.Now(), addr, n, data, path)
+	p.Sleep(end.Sub(p.K.Now()))
+}
+
+// Read schedules a media read of n bytes at addr and returns its completion
+// time. The caller should sample contents (ReadBytes) at or after that time.
+func (d *Device) Read(at sim.Time, addr int64, n int) sim.Time {
+	d.ReadOps++
+	c := sim.CostModel{Base: d.Params.ReadBase, BytesPerSec: d.Params.ReadBytesPerSec}
+	return d.channel(addr).ReserveAt(at, c.Cost(n))
+}
+
+// ReadSync reads n bytes at addr, blocking p for the media latency, and
+// returns the durable contents.
+func (d *Device) ReadSync(p *sim.Proc, addr int64, n int) []byte {
+	end := d.Read(p.K.Now(), addr, n)
+	p.Sleep(end.Sub(p.K.Now()))
+	return d.ReadBytes(addr, n)
+}
+
+// write applies bytes to the media immediately (no timing). Exported as
+// WriteRaw for test setup and recovery bookkeeping that is off the timed
+// path.
+func (d *Device) write(addr int64, b []byte) {
+	for len(b) > 0 {
+		page := addr / PageSize
+		off := int(addr % PageSize)
+		n := PageSize - off
+		if n > len(b) {
+			n = len(b)
+		}
+		pg, ok := d.pages[page]
+		if !ok {
+			pg = make([]byte, PageSize)
+			d.pages[page] = pg
+		}
+		copy(pg[off:], b[:n])
+		addr += int64(n)
+		b = b[n:]
+	}
+}
+
+// WriteRaw applies bytes to the media with no simulated latency. It is for
+// initialization and tests, not for the timed data path.
+func (d *Device) WriteRaw(addr int64, b []byte) { d.write(addr, b) }
+
+// ReadBytes returns the current durable contents of [addr, addr+n).
+// Unwritten bytes read as zero.
+func (d *Device) ReadBytes(addr int64, n int) []byte {
+	out := make([]byte, n)
+	o := 0
+	for o < n {
+		page := (addr + int64(o)) / PageSize
+		off := int((addr + int64(o)) % PageSize)
+		cnt := PageSize - off
+		if cnt > n-o {
+			cnt = n - o
+		}
+		if pg, ok := d.pages[page]; ok {
+			copy(out[o:o+cnt], pg[off:off+cnt])
+		}
+		o += cnt
+	}
+	return out
+}
+
+// Crash models a power failure: every in-flight persist is aborted (its
+// not-yet-applied chunks are lost) while already-durable bytes survive.
+// The media queue is drained because the device restarts idle.
+func (d *Device) Crash() {
+	d.epoch++
+	for _, ch := range d.media {
+		ch.Reset()
+	}
+}
+
+// Epoch returns the crash epoch, used by recovery code to detect restarts.
+func (d *Device) Epoch() int { return d.epoch }

@@ -1,0 +1,54 @@
+package redolog
+
+import (
+	"testing"
+
+	"prdma/internal/pmem"
+	"prdma/internal/sim"
+)
+
+// BenchmarkAppendConsume measures the log's hot path: one NIC append and
+// one consume per iteration, including the PM persist events.
+func BenchmarkAppendConsume(b *testing.B) {
+	k := sim.New()
+	pm := pmem.New(k, pmem.DefaultParams())
+	l := New(k, pm, 0, 64<<20)
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq, done, err := l.AppendNIC(k.Now(), 1, len(payload), payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k.RunUntil(done)
+		l.Consume(k.Now(), seq)
+		k.Run()
+	}
+}
+
+// BenchmarkRecover measures the recovery scan over a loaded ring.
+func BenchmarkRecover(b *testing.B) {
+	k := sim.New()
+	pm := pmem.New(k, pmem.DefaultParams())
+	l := New(k, pm, 0, 64<<20)
+	payload := make([]byte, 1024)
+	for i := 0; i < 1000; i++ {
+		_, done, err := l.AppendNIC(k.Now(), 1, len(payload), payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k.RunUntil(done)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l2 := New(k, pm, 0, 64<<20)
+		var got []Entry
+		k.Go("recover", func(p *sim.Proc) { got = l2.Recover(p) })
+		k.Run()
+		if len(got) != 1000 {
+			b.Fatalf("recovered %d", len(got))
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package redolog implements the paper's persistent redo log (§4.2): a ring
+// buffer in PM that makes RPCs durable before they are processed and
+// recoverable after a crash without re-sending data from the client.
+//
+// Entry layout (all fields little-endian):
+//
+//	offset 0  : seq     (8 bytes)
+//	offset 8  : op|len  (8 bytes: op in the top byte, payload length below)
+//	offset 16 : payload (len bytes, padded to 8)
+//	tail      : commit  (8 bytes: magic ^ seq ^ oplen)
+//
+// The commit word sits at the highest address of the entry. Because the PM
+// model persists a write front-to-back, persisting the whole entry with one
+// DMA guarantees the paper's "data is always persisted before the RPC
+// operator" invariant: a crash can leave a torn payload, but then the commit
+// word is absent and recovery rejects the entry. The commit word itself is
+// 8 bytes and persists atomically. The PM media services persists FIFO, so
+// if entry k is torn, no entry after k can be complete — recovery therefore
+// never drops an acknowledged entry by stopping at the first tear.
+//
+// The ring head (consumption frontier) advances strictly in FIFO order even
+// though workers may finish out of order; two durable 8-byte words at the
+// region base record the head offset and the lowest-live sequence (floor).
+// Both may lag the volatile truth by the in-flight persist window, which
+// recovery tolerates: it replays at-least-once from a conservative frontier
+// and skips entries below the floor.
+//
+// Three writers share this format, matching the paper's durable RPC
+// families: the remote sender (WFlush-RPC writes fully formed entries),
+// the local NIC (native SFlush reserves space and persists autonomously),
+// and the local CPU (RFlush copies from the message buffer).
+package redolog
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"prdma/internal/pmem"
+	"prdma/internal/sim"
+)
+
+const (
+	// HeaderBytes precede the payload; CommitBytes follow it.
+	HeaderBytes = 16
+	CommitBytes = 8
+	// Overhead is the per-entry metadata total.
+	Overhead = HeaderBytes + CommitBytes
+
+	commitMagic = 0x52444C4F47434D54 // "RDLOGCMT"
+
+	// ctrlBytes is the durable control area at the ring base:
+	// [headOff 8][floorSeq 8].
+	ctrlBytes = 16
+)
+
+// EntrySize returns the ring footprint of an entry with an n-byte payload.
+func EntrySize(n int) int64 { return int64(HeaderBytes + pad8(n) + CommitBytes) }
+
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+func max0(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Entry is a decoded log record.
+type Entry struct {
+	Seq     uint64
+	Op      byte
+	Len     int
+	Payload []byte
+	// Addr is the entry's PM address.
+	Addr int64
+}
+
+// Encode builds the on-PM image of an entry. When payload is nil or shorter
+// than n (synthetic benchmark traffic with a real header prefix), only the
+// available bytes are materialized; the commit word is then never durable
+// and such entries are — by design — not recoverable.
+func Encode(seq uint64, op byte, n int, payload []byte) []byte {
+	oplen := uint64(op)<<56 | uint64(uint32(n))
+	if len(payload) < n {
+		b := make([]byte, HeaderBytes+len(payload))
+		binary.LittleEndian.PutUint64(b[0:], seq)
+		binary.LittleEndian.PutUint64(b[8:], oplen)
+		copy(b[HeaderBytes:], payload)
+		return b
+	}
+	if len(payload) != n {
+		panic(fmt.Sprintf("redolog: payload %d != n %d", len(payload), n))
+	}
+	b := make([]byte, EntrySize(n))
+	binary.LittleEndian.PutUint64(b[0:], seq)
+	binary.LittleEndian.PutUint64(b[8:], oplen)
+	copy(b[HeaderBytes:], payload)
+	binary.LittleEndian.PutUint64(b[len(b)-8:], commitMagic^seq^oplen)
+	return b
+}
+
+// rec tracks one in-ring entry (or wrap slack) in the volatile FIFO window.
+type rec struct {
+	seq      uint64 // 0 for wrap slack
+	off      int64
+	foot     int64
+	consumed bool
+}
+
+// Log is one connection's ring buffer.
+type Log struct {
+	K  *sim.Kernel
+	PM *pmem.Device
+
+	// Trace, when set, receives append/consume/recover events.
+	Trace func(cat, format string, args ...interface{})
+
+	base int64 // region base (control area)
+	lo   int64 // first entry byte
+	size int64 // entry area capacity
+
+	// Volatile state (rebuilt by Recover).
+	tail    int64 // next append offset
+	used    int64
+	nextSeq uint64
+	window  []*rec // FIFO window of in-ring entries
+	bySeq   map[uint64]*rec
+
+	// CtrlEvery batches the durable control-pointer update: the head/floor
+	// words are persisted once per CtrlEvery head advances rather than on
+	// every consume. A lazier pointer only widens the at-least-once replay
+	// window after a crash — it never loses entries. Zero means 16.
+	CtrlEvery int
+	ctrlSkew  int
+
+	// Appends / Consumes / Recovered count operations for introspection.
+	Appends   int64
+	Consumes  int64
+	Recovered int64
+}
+
+// New manages a ring over [base, base+size) of pm.
+func New(k *sim.Kernel, pm *pmem.Device, base, size int64) *Log {
+	if size < ctrlBytes+Overhead {
+		panic("redolog: region too small")
+	}
+	return &Log{
+		K: k, PM: pm, base: base, lo: base + ctrlBytes,
+		size: size - ctrlBytes, nextSeq: 1,
+		bySeq: make(map[uint64]*rec),
+	}
+}
+
+// Base returns the region base address.
+func (l *Log) Base() int64 { return l.base }
+
+// Capacity returns the entry-area size in bytes.
+func (l *Log) Capacity() int64 { return l.size }
+
+// Outstanding returns the number of appended-but-unconsumed entries, the
+// quantity the paper's back-pressure threshold watches.
+func (l *Log) Outstanding() int { return len(l.bySeq) }
+
+// UsedBytes returns the occupied ring capacity.
+func (l *Log) UsedBytes() int64 { return l.used }
+
+// Reserve allocates ring space for an n-byte-payload entry, assigns it the
+// next sequence number, and returns (seq, PM address). It fails when the
+// ring is full — the caller throttles, per §4.2. Entries never wrap: if the
+// tail room is insufficient the cursor jumps to the ring start and the
+// skipped slack is reclaimed with its FIFO turn.
+func (l *Log) Reserve(n int) (uint64, int64, error) {
+	foot := EntrySize(n)
+	if foot > l.size {
+		return 0, 0, fmt.Errorf("redolog: entry of %d bytes exceeds ring capacity %d", foot, l.size)
+	}
+	slack := int64(-1) // -1: no wrap needed
+	if tailroom := l.size - l.tail; tailroom < foot {
+		slack = tailroom
+	}
+	if l.used+foot+max0(slack) > l.size {
+		return 0, 0, fmt.Errorf("redolog: ring full (%d/%d bytes, %d outstanding)", l.used, l.size, len(l.bySeq))
+	}
+	if slack >= 0 {
+		if slack > 0 {
+			l.window = append(l.window, &rec{off: l.tail, foot: slack, consumed: true})
+			l.used += slack
+		}
+		l.tail = 0
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	r := &rec{seq: seq, off: l.tail, foot: foot}
+	l.window = append(l.window, r)
+	l.bySeq[seq] = r
+	l.tail += foot
+	l.used += foot
+	l.Appends++
+	return seq, l.lo + r.off, nil
+}
+
+// AppendNIC reserves space and persists a fully formed entry over the DMA
+// path starting at time at, returning (seq, durable-completion time). This
+// is the WFlush/SFlush ingestion path: no CPU involved.
+func (l *Log) AppendNIC(at sim.Time, op byte, n int, payload []byte) (uint64, sim.Time, error) {
+	seq, addr, err := l.Reserve(n)
+	if err != nil {
+		return 0, 0, err
+	}
+	img := Encode(seq, op, n, payload)
+	done := l.PM.Persist(at, addr, int(EntrySize(n)), img, pmem.DMA)
+	return seq, done, nil
+}
+
+// AppendCPU persists an entry over the CPU path, blocking p until durable.
+// This is the RFlush ingestion path: the receiver CPU copies the payload
+// from the message buffer into the log and flushes it.
+func (l *Log) AppendCPU(p *sim.Proc, op byte, n int, payload []byte) (uint64, int64, error) {
+	seq, addr, err := l.Reserve(n)
+	if err != nil {
+		return 0, 0, err
+	}
+	img := Encode(seq, op, n, payload)
+	l.PM.PersistSync(p, addr, int(EntrySize(n)), img, pmem.CPU)
+	return seq, addr, nil
+}
+
+// Consume marks seq processed. Space is reclaimed — and the durable head
+// advanced — only over the contiguous consumed prefix, so out-of-order
+// worker completion is safe. Returns the completion time of the control
+// persist (callers rarely wait: consumption is off the critical path).
+func (l *Log) Consume(at sim.Time, seq uint64) sim.Time {
+	r, ok := l.bySeq[seq]
+	if !ok {
+		panic(fmt.Sprintf("redolog: consume of unknown seq %d", seq))
+	}
+	r.consumed = true
+	delete(l.bySeq, seq)
+	l.Consumes++
+
+	advanced := false
+	for len(l.window) > 0 && l.window[0].consumed {
+		l.used -= l.window[0].foot
+		l.window = l.window[1:]
+		advanced = true
+	}
+	if !advanced {
+		return at
+	}
+	// Lazy control update: persist the head/floor words only every
+	// CtrlEvery head advances, plus whenever the window fully drains. A
+	// stale pointer merely widens the at-least-once replay window after a
+	// crash; it never loses entries.
+	every := l.CtrlEvery
+	if every <= 0 {
+		every = 16
+	}
+	l.ctrlSkew++
+	if l.ctrlSkew < every && len(l.window) > 0 {
+		return at
+	}
+	l.ctrlSkew = 0
+	headOff := l.tail
+	floor := l.nextSeq
+	if len(l.window) > 0 {
+		headOff = l.window[0].off
+		floor = l.window[0].seq
+	}
+	// Two atomic 8-byte persists; each may individually lag after a crash,
+	// which recovery tolerates (at-least-once replay).
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(headOff))
+	t1 := l.PM.Persist(at, l.base, 8, b, pmem.CPU)
+	f := make([]byte, 8)
+	binary.LittleEndian.PutUint64(f, floor)
+	t2 := l.PM.Persist(at, l.base+8, 8, f, pmem.CPU)
+	if t2 > t1 {
+		return t2
+	}
+	return t1
+}
+
+// EntryAddr returns the PM address of a live entry.
+func (l *Log) EntryAddr(seq uint64) (int64, bool) {
+	r, ok := l.bySeq[seq]
+	if !ok {
+		return 0, false
+	}
+	return l.lo + r.off, true
+}
+
+// Recover scans the ring after a crash and returns the committed entries at
+// or above the durable floor, in FIFO order — the RPCs that were durable but
+// not durably consumed. It restores the volatile cursors so the log can
+// continue, re-registering recovered entries as live. p pays media-read
+// latency for the scan.
+func (l *Log) Recover(p *sim.Proc) []Entry {
+	ctrl := l.PM.ReadSync(p, l.base, ctrlBytes)
+	headOff := int64(binary.LittleEndian.Uint64(ctrl[0:]))
+	floor := binary.LittleEndian.Uint64(ctrl[8:])
+	if floor == 0 {
+		floor = 1
+	}
+	if headOff < 0 || headOff >= l.size {
+		headOff = 0
+	}
+
+	l.window = nil
+	l.bySeq = make(map[uint64]*rec)
+	l.used = 0
+	l.tail = headOff
+	l.nextSeq = floor
+
+	var out []Entry
+	off := headOff
+	expect := uint64(0)
+	wrapped := false
+	// Ring-end slack is only charged to the used-span once a valid wrapped
+	// entry confirms the writer actually wrapped; a probe of offset 0 that
+	// finds nothing must not consume capacity.
+	pendSlackOff := int64(-1)
+	wrapTo0 := func() {
+		if expect != 0 {
+			pendSlackOff = off
+		}
+		wrapped = true
+		off = 0
+	}
+	for {
+		if l.size-off < Overhead {
+			if wrapped {
+				break
+			}
+			wrapTo0()
+			continue
+		}
+		hb := l.PM.ReadSync(p, l.lo+off, HeaderBytes)
+		seq := binary.LittleEndian.Uint64(hb[0:])
+		oplen := binary.LittleEndian.Uint64(hb[8:])
+		n := int(uint32(oplen))
+		foot := EntrySize(n)
+		valid := seq != 0 && foot <= l.size-off
+		if valid {
+			cb := l.PM.ReadSync(p, l.lo+off+foot-8, 8)
+			valid = binary.LittleEndian.Uint64(cb) == commitMagic^seq^oplen
+		}
+		if !valid {
+			// Either wrap slack (jump to the ring start, once) or the
+			// torn frontier of the log (stop).
+			if !wrapped && off != headOff {
+				wrapTo0()
+				continue
+			}
+			break
+		}
+		if seq < floor {
+			// Durably consumed on a previous lap: walk over it.
+			off += foot
+			continue
+		}
+		if expect != 0 && seq != expect {
+			break // stale entry from an older lap: frontier reached
+		}
+		expect = seq + 1
+		if pendSlackOff >= 0 {
+			if slack := l.size - pendSlackOff; slack > 0 {
+				l.window = append(l.window, &rec{off: pendSlackOff, foot: slack, consumed: true})
+				l.used += slack
+			}
+			pendSlackOff = -1
+		}
+		payload := l.PM.ReadSync(p, l.lo+off+HeaderBytes, n)
+		out = append(out, Entry{
+			Seq: seq, Op: byte(oplen >> 56), Len: n,
+			Payload: payload, Addr: l.lo + off,
+		})
+		r := &rec{seq: seq, off: off, foot: foot}
+		l.window = append(l.window, r)
+		l.bySeq[seq] = r
+		l.used += foot
+		l.tail = off + foot
+		if l.nextSeq <= seq {
+			l.nextSeq = seq + 1
+		}
+		off += foot
+	}
+	l.Recovered += int64(len(out))
+	if l.Trace != nil {
+		first, last := uint64(0), uint64(0)
+		if len(out) > 0 {
+			first, last = out[0].Seq, out[len(out)-1].Seq
+		}
+		l.Trace("redolog", "recover: %d entries (seq %d..%d), floor=%d headOff=%d", len(out), first, last, floor, headOff)
+	}
+	return out
+}

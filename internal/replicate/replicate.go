@@ -1,0 +1,124 @@
+// Package replicate implements the paper's §4.5 extension: data persistence
+// with multiple replicas. A replicated write fans one durable RPC out to R
+// replica servers and completes according to a persistence policy:
+//
+//   - WaitAll — every replica's RDMA Flush has acknowledged. Strongest:
+//     any replica can serve after a failure.
+//   - WaitQuorum — a majority acknowledged. The paper notes that RC cannot
+//     order Flush ACKs across independent replicas, so distributed
+//     consistency needs a consensus-style tradeoff; a quorum is the classic
+//     one, trading tail latency for weaker per-replica guarantees.
+//
+// Reads go to the primary (replica 0). The redo-log machinery carries over
+// per replica, so a crashed replica recovers its backlog locally and is
+// resynchronized by replaying — exactly the "foundational capability for
+// data replication protocols" the paper claims.
+package replicate
+
+import (
+	"errors"
+	"fmt"
+
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+)
+
+// Policy selects the write-completion rule.
+type Policy int
+
+const (
+	// WaitAll completes a write when every replica persisted it.
+	WaitAll Policy = iota
+	// WaitQuorum completes a write at a majority of persistence ACKs.
+	WaitQuorum
+)
+
+func (p Policy) String() string {
+	if p == WaitQuorum {
+		return "quorum"
+	}
+	return "all"
+}
+
+// Client is a replicated durable-RPC client.
+type Client struct {
+	K        *sim.Kernel
+	Policy   Policy
+	replicas []rpc.AsyncClient
+
+	// Writes/Reads count operations; SlowestWaits counts writes where the
+	// policy saved waiting on a straggler (quorum met before all ACKs).
+	Writes, Reads, SlowestWaits int64
+}
+
+// New builds a replicated client over per-replica durable connections.
+// Every replica client must support asynchronous issue (the durable RPCs
+// do; traditional RPCs cannot replicate without blocking serially).
+func New(k *sim.Kernel, policy Policy, replicas []rpc.Client) (*Client, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("replicate: no replicas")
+	}
+	c := &Client{K: k, Policy: policy}
+	for _, r := range replicas {
+		ac, ok := r.(rpc.AsyncClient)
+		if !ok {
+			return nil, fmt.Errorf("replicate: %v cannot issue asynchronously", r.Kind())
+		}
+		c.replicas = append(c.replicas, ac)
+	}
+	return c, nil
+}
+
+// Replicas returns the replication factor.
+func (c *Client) Replicas() int { return len(c.replicas) }
+
+// need returns how many persistence ACKs complete a write.
+func (c *Client) need() int {
+	if c.Policy == WaitQuorum {
+		return len(c.replicas)/2 + 1
+	}
+	return len(c.replicas)
+}
+
+// Write replicates one durable write and blocks p until the policy is
+// satisfied. It returns the completion time and the number of replicas
+// that had persisted by then.
+func (c *Client) Write(p *sim.Proc, req *rpc.Request) (sim.Time, int, error) {
+	if req.Op != rpc.OpWrite {
+		return 0, 0, errors.New("replicate: Write requires OpWrite")
+	}
+	c.Writes++
+	pendings := make([]*rpc.Pending, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		pend, err := r.CallAsync(p, req)
+		if err != nil {
+			return 0, 0, err
+		}
+		pendings = append(pendings, pend)
+	}
+	acked := 0
+	met := sim.NewFuture[sim.Time](c.K)
+	need := c.need()
+	for _, pend := range pendings {
+		pend.Durable.Then(func(at sim.Time) {
+			acked++
+			if acked == need {
+				met.Complete(at)
+			}
+		})
+	}
+	done := met.Wait(p)
+	if acked < len(c.replicas) {
+		c.SlowestWaits++
+	}
+	return done, acked, nil
+}
+
+// Read fetches from the primary replica.
+func (c *Client) Read(p *sim.Proc, req *rpc.Request) (*rpc.Response, error) {
+	c.Reads++
+	return c.replicas[0].Call(p, req)
+}
+
+// Primary exposes the primary replica's client (recovery drivers use it).
+func (c *Client) Primary() rpc.AsyncClient { return c.replicas[0] }

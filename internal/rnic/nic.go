@@ -1,0 +1,558 @@
+package rnic
+
+import (
+	"fmt"
+	"time"
+
+	"prdma/internal/cache"
+	"prdma/internal/dram"
+	"prdma/internal/fabric"
+	"prdma/internal/pmem"
+	"prdma/internal/sim"
+)
+
+// NIC is one RDMA network interface card.
+type NIC struct {
+	K      *sim.Kernel
+	Name   string
+	Params Params
+
+	EP   *fabric.Endpoint
+	PM   *pmem.Device
+	LLC  *cache.LLC
+	DRAM *dram.Memory
+
+	// rx is the inbound message pipeline, tx the WQE-processing pipeline,
+	// pcie the DMA engine. All FIFO resources.
+	rx   *sim.Resource
+	tx   *sim.Resource
+	pcie *sim.Resource
+
+	qps    map[int]*QP
+	nextQP int
+
+	mrs []MR
+
+	// epoch invalidates in-flight receive-side work on crash (the data in
+	// the NIC's volatile SRAM and its pending DMA chain is lost).
+	epoch int
+
+	// Trace, when set, receives high-signal model events (see package
+	// trace): message staging, flush ACKs, retransmissions, crashes,
+	// protection faults.
+	Trace func(cat, format string, args ...interface{})
+
+	// Stats.
+	StagedMsgs       int64 // messages that touched SRAM
+	FlushAcks        int64
+	Retransmits      int64
+	DroppedStale     int64 // messages for dead QPs
+	AccessViolations int64 // one-sided ops that failed MR protection
+}
+
+// MR is a registered memory region.
+type MR struct {
+	Base int64
+	Len  int64
+	Kind MemKind
+	// RemoteWrite/RemoteRead grant one-sided access, as ibv_reg_mr access
+	// flags do. RegisterMR grants both; RegisterMRProt does not.
+	RemoteWrite bool
+	RemoteRead  bool
+}
+
+// New creates a NIC attached to net under the given endpoint name.
+func New(k *sim.Kernel, name string, net *fabric.Network, pm *pmem.Device, llc *cache.LLC, mem *dram.Memory, p Params) *NIC {
+	n := &NIC{
+		K: k, Name: name, Params: p,
+		PM: pm, LLC: llc, DRAM: mem,
+		rx: sim.NewResource(k), tx: sim.NewResource(k), pcie: sim.NewResource(k),
+		qps: make(map[int]*QP),
+	}
+	n.EP = net.Attach(name, n.handleWire)
+	return n
+}
+
+// RegisterMR registers [base, base+len) as kind memory with full remote
+// access.
+func (n *NIC) RegisterMR(base, length int64, kind MemKind) MR {
+	mr := MR{Base: base, Len: length, Kind: kind, RemoteWrite: true, RemoteRead: true}
+	n.mrs = append(n.mrs, mr)
+	return mr
+}
+
+// RegisterMRProt registers a region with explicit access flags. Later
+// registrations take precedence over earlier overlapping ones, so a
+// read-only window can be carved out of a full-access region.
+func (n *NIC) RegisterMRProt(base, length int64, kind MemKind, remoteWrite, remoteRead bool) MR {
+	mr := MR{Base: base, Len: length, Kind: kind, RemoteWrite: remoteWrite, RemoteRead: remoteRead}
+	n.mrs = append([]MR{mr}, n.mrs...)
+	return mr
+}
+
+// lookupMR resolves the MR covering addr. Unregistered addresses panic:
+// that is always a protocol bug in a model this controlled.
+func (n *NIC) lookupMR(addr int64) MR {
+	for _, mr := range n.mrs {
+		if addr >= mr.Base && addr < mr.Base+mr.Len {
+			return mr
+		}
+	}
+	panic(fmt.Sprintf("rnic(%s): access to unregistered address %#x", n.Name, addr))
+}
+
+// mrKind resolves the memory kind of addr.
+func (n *NIC) mrKind(addr int64) MemKind {
+	return n.lookupMR(addr).Kind
+}
+
+// checkAccess enforces the MR access flags for a one-sided operation:
+// a violation drops the request and moves the target QP into the error
+// state, which is how a real RNIC NAKs a protection fault.
+func (n *NIC) checkAccess(q *QP, addr int64, write bool) bool {
+	mr := n.lookupMR(addr)
+	ok := mr.RemoteRead
+	if write {
+		ok = mr.RemoteWrite
+	}
+	if !ok {
+		n.AccessViolations++
+		q.dead = true
+		if n.Trace != nil {
+			n.Trace("rnic", "%s: PROTECTION FAULT addr=%#x write=%v qp=%d -> error state", n.Name, addr, write, q.ID)
+		}
+	}
+	return ok
+}
+
+// pcieCost is the DMA transfer time for n bytes.
+func (n *NIC) pcieCost(size int) time.Duration {
+	c := sim.CostModel{Base: n.Params.PCIeBase, BytesPerSec: n.Params.PCIeBytesPerSec}
+	return c.Cost(size)
+}
+
+// CreateQP allocates a queue pair.
+func (n *NIC) CreateQP(t Transport) *QP {
+	n.nextQP++
+	q := &QP{
+		nic: n, ID: n.nextQP, Transport: t,
+		RecvCQ:   sim.NewChan[Recv](n.K),
+		Arrivals: sim.NewChan[Arrival](n.K),
+		acks:     make(map[uint64]*sim.Future[sim.Time]),
+		flushes:  make(map[uint64]*sim.Future[sim.Time]),
+		reads:    make(map[uint64]*sim.Future[[]byte]),
+		notifies: make(map[uint64]*sim.Future[sim.Time]),
+		seen:     make(map[uint64]bool),
+	}
+	n.qps[q.ID] = q
+	return q
+}
+
+// Connect pairs two QPs (they must use the same transport).
+func Connect(a, b *QP) {
+	if a.Transport != b.Transport {
+		panic("rnic: transport mismatch in Connect")
+	}
+	a.remoteNIC, a.remoteQP = b.nic.Name, b.ID
+	b.remoteNIC, b.remoteQP = a.nic.Name, a.ID
+}
+
+// Crash models a host power failure from the NIC's perspective: all staged
+// SRAM contents and pending receive-side work die, all QPs are destroyed,
+// and the endpoint stops accepting traffic until Restart.
+func (n *NIC) Crash() {
+	if n.Trace != nil {
+		n.Trace("rnic", "%s: CRASH (epoch %d -> %d), %d QPs destroyed", n.Name, n.epoch, n.epoch+1, len(n.qps))
+	}
+	n.epoch++
+	for _, q := range n.qps {
+		q.dead = true
+	}
+	n.qps = make(map[int]*QP)
+	n.EP.SetUp(false)
+	n.rx.Reset()
+	n.tx.Reset()
+	n.pcie.Reset()
+}
+
+// Restart brings the endpoint back up; callers re-create QPs and MRs.
+func (n *NIC) Restart() {
+	if n.Trace != nil {
+		n.Trace("rnic", "%s: restart (epoch %d)", n.Name, n.epoch)
+	}
+	n.EP.SetUp(true)
+	n.mrs = nil
+}
+
+// Epoch returns the crash epoch.
+func (n *NIC) Epoch() int { return n.epoch }
+
+// post runs a WQE through the tx pipeline and puts the message on the wire.
+func (n *NIC) post(dst string, m *wireMsg, wireSize int) {
+	done := n.tx.Reserve(n.Params.ProcPerWQE)
+	epoch := n.epoch
+	n.K.At(done, func() {
+		if n.epoch != epoch {
+			return
+		}
+		n.EP.Send(&fabric.Message{To: dst, Size: wireSize, Payload: m})
+	})
+}
+
+// postAt is post starting no earlier than at.
+func (n *NIC) postAt(at sim.Time, dst string, m *wireMsg, wireSize int) {
+	done := n.tx.ReserveAt(at, n.Params.ProcPerWQE)
+	epoch := n.epoch
+	n.K.At(done, func() {
+		if n.epoch != epoch {
+			return
+		}
+		n.EP.Send(&fabric.Message{To: dst, Size: wireSize, Payload: m})
+	})
+}
+
+// handleWire is the fabric arrival handler: it runs the message through the
+// inbound pipeline and then processes it.
+func (n *NIC) handleWire(at sim.Time, fm *fabric.Message) {
+	m := fm.Payload.(*wireMsg)
+	cost := n.Params.ProcPerWQE
+	if m.Kind == wSend {
+		cost += n.Params.SendExtra
+	}
+	done := n.rx.ReserveAt(at, cost)
+	epoch := n.epoch
+	n.K.At(done, func() {
+		if n.epoch != epoch {
+			return
+		}
+		n.process(m)
+	})
+}
+
+// process dispatches one inbound message at the current virtual time.
+func (n *NIC) process(m *wireMsg) {
+	q, ok := n.qps[m.DstQP]
+	if !ok {
+		n.DroppedStale++
+		return
+	}
+	switch m.Kind {
+	case wWrite, wWriteImm:
+		n.inboundWrite(q, m)
+	case wSend:
+		n.inboundSend(q, m)
+	case wRead:
+		n.inboundRead(q, m)
+	case wReadResp:
+		if f, ok := q.reads[m.Seq]; ok {
+			delete(q.reads, m.Seq)
+			f.Complete(m.Data)
+		}
+	case wAck:
+		if f, ok := q.acks[m.Seq]; ok {
+			delete(q.acks, m.Seq)
+			f.Complete(n.K.Now())
+		}
+	case wFlushAck:
+		if f, ok := q.flushes[m.Seq]; ok {
+			delete(q.flushes, m.Seq)
+			f.Complete(n.K.Now())
+		}
+	case wNotify:
+		if f, ok := q.notifies[m.Tag]; ok {
+			delete(q.notifies, m.Tag)
+			f.Complete(n.K.Now())
+		} else {
+			q.pendingNotify = append(q.pendingNotify, m.Tag)
+		}
+	}
+}
+
+// rcAck sends the RC acknowledgement: data has reached NIC SRAM (T_A).
+func (n *NIC) rcAck(q *QP, seq uint64) {
+	if q.Transport != RC {
+		return
+	}
+	n.post(q.remoteNIC, &wireMsg{Kind: wAck, DstQP: q.remoteQP, SrcQP: q.ID, Seq: seq}, n.Params.AckBytes)
+}
+
+// flushAck acknowledges durability (T_B).
+func (n *NIC) flushAck(q *QP, seq uint64) {
+	n.FlushAcks++
+	if n.Trace != nil {
+		n.Trace("rnic", "%s: flush-ack seq=%d qp=%d (durable)", n.Name, seq, q.ID)
+	}
+	n.post(q.remoteNIC, &wireMsg{Kind: wFlushAck, DstQP: q.remoteQP, SrcQP: q.ID, Seq: seq}, n.Params.AckBytes)
+}
+
+// inboundWrite handles write and write-imm: stage in SRAM, ACK (RC), DMA to
+// the target memory, and track/ack durability.
+func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
+	if q.Transport == RC {
+		if q.seen[m.Seq] {
+			// Duplicate from a retransmit: re-ACK (and re-issue the
+			// flush ACK, which covers the durability horizon), but do
+			// not re-apply the data.
+			n.rcAck(q, m.Seq)
+			if m.Flush {
+				at := n.K.Now()
+				if q.lastDurable > at {
+					at = q.lastDurable
+				}
+				epoch := n.epoch
+				n.K.At(at, func() {
+					if n.epoch == epoch {
+						n.flushAck(q, m.Seq)
+					}
+				})
+			}
+			return
+		}
+		q.seen[m.Seq] = true
+	}
+	if !n.checkAccess(q, m.Addr, true) {
+		return // protection fault: NAK, QP error
+	}
+	n.StagedMsgs++
+	n.rcAck(q, m.Seq) // T_A
+
+	kind := n.mrKind(m.Addr)
+	pcieDone := n.pcie.Reserve(n.pcieCost(m.N))
+	epoch := n.epoch
+
+	deliver := func(at sim.Time, durable sim.Time) {
+		n.K.At(at, func() {
+			if n.epoch != epoch {
+				return
+			}
+			if m.Kind == wWriteImm {
+				q.RecvCQ.Push(Recv{Addr: m.Addr, N: m.N, Data: m.Data, Imm: m.Imm,
+					At: n.K.Now(), Durable: durable, LogAddr: -1, SrcQP: m.SrcQP, IsImm: true})
+			} else {
+				q.Arrivals.Push(Arrival{Addr: m.Addr, N: m.N, Data: m.Data,
+					At: n.K.Now(), Durable: durable, SrcQP: m.SrcQP})
+			}
+		})
+	}
+
+	switch {
+	case kind == MemDRAM:
+		n.K.At(pcieDone, func() {
+			if n.epoch != epoch {
+				return
+			}
+			n.DRAM.Write(m.Addr, m.Data)
+		})
+		deliver(pcieDone, 0)
+	case n.Params.DDIO && !m.Flush:
+		// DDIO steers the DMA into the volatile LLC (§2.3): fast and
+		// CPU-visible, but not durable until a CPU clflush.
+		n.K.At(pcieDone, func() {
+			if n.epoch != epoch {
+				return
+			}
+			n.LLC.InstallDirty(m.Addr, m.N, m.Data)
+		})
+		deliver(pcieDone, 0)
+	default:
+		durable := n.PM.Persist(pcieDone, m.Addr, m.N, m.Data, pmem.DMA)
+		if durable > q.lastDurable {
+			q.lastDurable = durable
+		}
+		// Flush semantics (and CPU visibility for polling-based
+		// persistence checks) apply to the QP's whole durability horizon:
+		// the ACK implies every earlier write on the connection is
+		// durable too, matching IBTA flush ordering rules. This is what
+		// lets log recovery stop at the first torn entry without ever
+		// dropping an acknowledged one.
+		horizon := q.lastDurable
+		deliver(horizon, horizon)
+		if q.ChainNext != nil {
+			// Chained QPs forward every inbound write to the next
+			// replica (HyperLoop forwards the whole write stream).
+			if !m.Flush {
+				q.ChainNext.WriteAsync(m.Addr, m.N, m.Data)
+				return
+			}
+			// HyperLoop-style group offload (§4.5): forward the write
+			// down the replica chain NIC-to-NIC and ACK the origin only
+			// when the local persist and the whole downstream chain are
+			// durable.
+			fwd := q.ChainNext.WriteFlushAsync(m.Addr, m.N, m.Data)
+			fwd.Then(func(sim.Time) {
+				if n.epoch != epoch {
+					return
+				}
+				at := horizon
+				if now := n.K.Now(); now > at {
+					at = now
+				}
+				n.K.At(at, func() {
+					if n.epoch == epoch {
+						n.flushAck(q, m.Seq)
+					}
+				})
+			})
+			return
+		}
+		if m.Flush {
+			n.K.At(horizon, func() {
+				if n.epoch != epoch {
+					return
+				}
+				n.flushAck(q, m.Seq)
+			})
+		}
+	}
+}
+
+// inboundSend handles two-sided sends: consume a posted receive buffer, DMA
+// the payload into it, raise a receive completion; with an SFlush, also
+// resolve the log address and persist the payload there.
+func (n *NIC) inboundSend(q *QP, m *wireMsg) {
+	if q.Transport == RC {
+		if q.seen[m.Seq] {
+			n.rcAck(q, m.Seq)
+			if m.Flush {
+				at := n.K.Now()
+				if q.lastDurable > at {
+					at = q.lastDurable
+				}
+				epoch := n.epoch
+				n.K.At(at, func() {
+					if n.epoch == epoch {
+						n.flushAck(q, m.Seq)
+					}
+				})
+			}
+			return
+		}
+		q.seen[m.Seq] = true
+	}
+	n.StagedMsgs++
+	n.rcAck(q, m.Seq) // T_A
+	if len(q.recvBufs) == 0 {
+		// Receiver-not-ready: hold in SRAM until a buffer is posted.
+		q.pendingSends = append(q.pendingSends, m)
+		return
+	}
+	buf := q.recvBufs[0]
+	q.recvBufs = q.recvBufs[1:]
+	n.placeSend(q, m, buf)
+}
+
+// placeSend performs the DMA chain for a send whose buffer is known.
+func (n *NIC) placeSend(q *QP, m *wireMsg, buf RecvBuf) {
+	epoch := n.epoch
+	kind := n.mrKind(buf.Addr)
+	pcieDone := n.pcie.Reserve(n.pcieCost(m.N))
+
+	var visible, durable sim.Time
+	switch {
+	case kind == MemDRAM:
+		n.K.At(pcieDone, func() {
+			if n.epoch != epoch {
+				return
+			}
+			n.DRAM.Write(buf.Addr, m.Data)
+		})
+		visible, durable = pcieDone, 0
+	default:
+		d := n.PM.Persist(pcieDone, buf.Addr, m.N, m.Data, pmem.DMA)
+		if d > q.lastDurable {
+			q.lastDurable = d
+		}
+		// Horizon semantics: see inboundWrite.
+		visible, durable = q.lastDurable, q.lastDurable
+	}
+
+	logAddr := int64(-1)
+	if m.Flush && q.FlushSink != nil {
+		// SFlush: the NIC parses the packet to resolve the destination
+		// (AddrLookup), then a second DMA deposits the payload in the
+		// redo log and persists it (paper Fig. 5, steps A and B).
+		logAddr = q.FlushSink(m.N)
+		lookupDone := pcieDone.Add(n.Params.AddrLookup)
+		dma2 := n.pcie.ReserveAt(lookupDone, n.pcieCost(m.N))
+		d := n.PM.Persist(dma2, logAddr, m.N, m.Data, pmem.DMA)
+		if d > q.lastDurable {
+			q.lastDurable = d
+		}
+		durable = q.lastDurable // horizon semantics: see inboundWrite
+		n.K.At(durable, func() {
+			if n.epoch != epoch {
+				return
+			}
+			n.flushAck(q, m.Seq)
+		})
+		if visible < durable {
+			visible = durable
+		}
+	}
+
+	la := logAddr
+	n.K.At(visible, func() {
+		if n.epoch != epoch {
+			return
+		}
+		q.RecvCQ.Push(Recv{Addr: buf.Addr, N: m.N, Data: m.Data,
+			At: n.K.Now(), Durable: durable, LogAddr: la, SrcQP: m.SrcQP})
+	})
+}
+
+// inboundRead serves a one-sided read. Without DDIO, a read of a range with
+// in-flight DMA forces/waits for the flush to PM first — this is exactly the
+// mechanism the paper uses to emulate WFlush. With DDIO the read is served
+// from the LLC immediately, which is why read-after-write fails as a
+// persistence check (§2.4).
+func (n *NIC) inboundRead(q *QP, m *wireMsg) {
+	// PCIe ordering: a read cannot pass DMA writes already queued in the
+	// engine; defer service until the current backlog drains.
+	start := n.pcie.NextFree()
+	if now := n.K.Now(); now > start {
+		start = now
+	}
+	epoch := n.epoch
+	n.K.At(start, func() {
+		if n.epoch != epoch {
+			return
+		}
+		n.serveRead(q, m)
+	})
+}
+
+// serveRead resolves a read once the DMA engine has drained ahead of it.
+func (n *NIC) serveRead(q *QP, m *wireMsg) {
+	if !n.checkAccess(q, m.Addr, false) {
+		return // protection fault: NAK, QP error
+	}
+	epoch := n.epoch
+	kind := n.mrKind(m.Addr)
+	respond := func(at sim.Time, fetch func() []byte) {
+		n.K.At(at, func() {
+			if n.epoch != epoch {
+				return
+			}
+			n.postAt(n.K.Now(), q.remoteNIC,
+				&wireMsg{Kind: wReadResp, DstQP: q.remoteQP, SrcQP: q.ID, Seq: m.Seq, N: m.N, Data: fetch()},
+				n.Params.HeaderBytes+m.N)
+		})
+	}
+	switch {
+	case kind == MemDRAM:
+		done := n.pcie.Reserve(n.pcieCost(m.N))
+		respond(done, func() []byte { return n.DRAM.Read(m.Addr, m.N) })
+	case n.Params.DDIO && n.LLC.DirtyIn(m.Addr, m.N):
+		// Served from cache: fast, and silently non-durable.
+		done := n.pcie.Reserve(n.pcieCost(m.N))
+		respond(done, func() []byte { return n.LLC.Read(m.Addr, m.N) })
+	default:
+		start := n.K.Now()
+		if q.lastDurable > start {
+			start = q.lastDurable // read flushes pending DMA first
+		}
+		readDone := n.PM.Read(start, m.Addr, m.N)
+		pcieDone := n.pcie.ReserveAt(readDone, n.pcieCost(m.N))
+		respond(pcieDone, func() []byte { return n.PM.ReadBytes(m.Addr, m.N) })
+	}
+}

@@ -1,0 +1,109 @@
+// Package rnic models an RDMA NIC with a volatile staging SRAM, a DMA
+// engine, RC/UC/UD queue pairs, and the paper's proposed Flush primitives
+// (WFlush, SFlush) in both native and read-after-write-emulated forms.
+//
+// The model's load-bearing property is the paper's T_A < T_B gap (§2.4): an
+// RC ACK is generated when data reaches the NIC's volatile SRAM (T_A), but
+// the data only becomes durable when the DMA + media persist completes
+// (T_B). A crash in between loses the data. The Flush primitives close the
+// gap by acknowledging at T_B.
+package rnic
+
+import "time"
+
+// Transport is the RDMA transmission mode.
+type Transport int
+
+const (
+	// RC is a reliable connection: lossless, in-order, ACKed.
+	RC Transport = iota
+	// UC is an unreliable connection: in-order, no ACKs.
+	UC
+	// UD is an unreliable datagram: no ACKs, limited MTU.
+	UD
+)
+
+func (t Transport) String() string {
+	switch t {
+	case RC:
+		return "RC"
+	case UC:
+		return "UC"
+	default:
+		return "UD"
+	}
+}
+
+// UDMTU is the maximum UD payload, which is why the paper only reports
+// FaSST for objects up to 4 KB (§5.1).
+const UDMTU = 4096
+
+// MemKind says which memory an MR (and therefore a DMA target) lives in.
+type MemKind int
+
+const (
+	// MemDRAM is volatile host memory (message buffers, indexes).
+	MemDRAM MemKind = iota
+	// MemPM is persistent memory.
+	MemPM
+)
+
+func (k MemKind) String() string {
+	if k == MemPM {
+		return "pm"
+	}
+	return "dram"
+}
+
+// Params configures a NIC.
+type Params struct {
+	// ProcPerWQE is the NIC pipeline cost to process one WQE or one
+	// inbound message.
+	ProcPerWQE time.Duration
+	// SendExtra is the additional receiver-side NIC cost of two-sided
+	// operations (RQ WQE fetch and scatter), making send-based RPCs
+	// slower than write-based ones for large payloads (paper §5.5).
+	SendExtra time.Duration
+	// PCIeBase + PCIeBytesPerSec model the DMA engine between NIC SRAM
+	// and host memory.
+	PCIeBase        time.Duration
+	PCIeBytesPerSec float64
+	// AddrLookup is the time for an SFlush to resolve the destination
+	// address from the packet (the paper emulates ~7 µs with sleep(0)).
+	AddrLookup time.Duration
+	// HeaderBytes is the per-message wire overhead; AckBytes the size of
+	// ACK/flush-ACK/notify messages.
+	HeaderBytes int
+	AckBytes    int
+	// RetransmitInterval is the RC retry period after loss (paper: 100 ms).
+	RetransmitInterval time.Duration
+	// RetryCount bounds RC retransmissions; exhaustion puts the QP in the
+	// error state, as InfiniBand's retry_cnt does.
+	RetryCount int
+	// EmulateFlush selects the paper's read-after-write emulation of
+	// WFlush/SFlush (an extra 1-byte RDMA read on the wire) instead of
+	// the native piggy-backed primitive.
+	EmulateFlush bool
+	// DDIO steers inbound PM-targeted DMA into the volatile LLC (§2.3).
+	// Flush-flagged operations bypass DDIO, modelling the non-cacheable
+	// regions of §4.4.2.
+	DDIO bool
+}
+
+// DefaultParams returns the ConnectX-4-like defaults from DESIGN.md §4.
+// EmulateFlush is on by default because that is what the paper measures.
+func DefaultParams() Params {
+	return Params{
+		ProcPerWQE:         300 * time.Nanosecond,
+		SendExtra:          1200 * time.Nanosecond,
+		PCIeBase:           500 * time.Nanosecond,
+		PCIeBytesPerSec:    12e9,
+		AddrLookup:         7 * time.Microsecond,
+		HeaderBytes:        64,
+		AckBytes:           16,
+		RetransmitInterval: 100 * time.Millisecond,
+		RetryCount:         7,
+		EmulateFlush:       true,
+		DDIO:               false,
+	}
+}

@@ -1,0 +1,315 @@
+package rnic
+
+import (
+	"fmt"
+
+	"prdma/internal/fabric"
+	"prdma/internal/sim"
+)
+
+// QP is a queue pair: one endpoint of an RDMA connection.
+type QP struct {
+	nic       *NIC
+	ID        int
+	Transport Transport
+
+	remoteNIC string
+	remoteQP  int
+
+	// RecvCQ delivers two-sided completions (send, write-imm).
+	RecvCQ *sim.Chan[Recv]
+	// Arrivals delivers one-sided write landings for polling servers.
+	Arrivals *sim.Chan[Arrival]
+
+	// FlushSink, set on a server-side QP, lets the NIC autonomously
+	// reserve redo-log space for native SFlush operations.
+	FlushSink func(n int) int64
+
+	// FlushProbe is a sender-side PM address used by the read-after-write
+	// emulation of SFlush (any registered PM address on the peer works:
+	// the read drains the QP's pending DMA regardless of address).
+	FlushProbe int64
+
+	// ChainNext, set on a server-side QP, makes the NIC forward inbound
+	// flush-flagged writes to the next replica without CPU involvement —
+	// the HyperLoop-style group offload the paper discusses in §4.5. The
+	// flush ACK returns to the origin only once the local persist AND the
+	// downstream chain have completed, so one ACK certifies the whole
+	// group. ChainNext must be a client-side QP owned by the same NIC.
+	ChainNext *QP
+
+	recvBufs     []RecvBuf
+	pendingSends []*wireMsg
+
+	seq      uint64
+	acks     map[uint64]*sim.Future[sim.Time]
+	flushes  map[uint64]*sim.Future[sim.Time]
+	reads    map[uint64]*sim.Future[[]byte]
+	notifies map[uint64]*sim.Future[sim.Time]
+	// pendingNotify buffers tags that arrived before ExpectNotify.
+	pendingNotify []uint64
+	// seen dedups retransmitted RC operations.
+	seen map[uint64]bool
+
+	// lastDurable is the durability horizon of inbound operations on this
+	// QP: reads (and therefore flush emulation) wait for it.
+	lastDurable sim.Time
+
+	dead bool
+}
+
+// NIC returns the owning NIC.
+func (q *QP) NIC() *NIC { return q.nic }
+
+// RemoteName returns the peer NIC's fabric name.
+func (q *QP) RemoteName() string { return q.remoteNIC }
+
+// Dead reports whether the QP was destroyed by a crash.
+func (q *QP) Dead() bool { return q.dead }
+
+func (q *QP) nextSeq() uint64 {
+	q.seq++
+	return q.seq
+}
+
+// wireSize is payload plus per-message header overhead.
+func (q *QP) wireSize(n int) int { return q.nic.Params.HeaderBytes + n }
+
+// reliablePost transmits an RC message and retransmits it every
+// RetransmitInterval until `settled` reports completion or the QP dies.
+// The receiver dedups by sequence number, so duplicates are harmless; RC's
+// in-order semantics are preserved because retransmission only happens for
+// messages that never got their acknowledgement.
+func (q *QP) reliablePost(m *wireMsg, size int, settled func() bool) {
+	n := q.nic
+	retries := n.Params.RetryCount
+	if retries <= 0 {
+		retries = 7
+	}
+	var attempt func(tries int)
+	attempt = func(tries int) {
+		if q.dead || settled() {
+			return
+		}
+		if tries > retries {
+			// Retry budget exhausted: the QP enters the error state,
+			// exactly as InfiniBand retry_cnt exhaustion does. The
+			// application layer re-establishes the connection.
+			q.dead = true
+			if n.Trace != nil {
+				n.Trace("rnic", "%s: qp=%d retry budget exhausted (seq=%d) -> error state", n.Name, q.ID, m.Seq)
+			}
+			return
+		}
+		if tries > 0 {
+			n.Retransmits++
+			if n.Trace != nil {
+				n.Trace("rnic", "%s: retransmit #%d seq=%d qp=%d", n.Name, tries, m.Seq, q.ID)
+			}
+		}
+		n.post(q.remoteNIC, m, size)
+		n.K.After(n.Params.RetransmitInterval, func() { attempt(tries + 1) })
+	}
+	attempt(0)
+}
+
+// PostRecv posts a receive buffer. Buffered sends that arrived while no
+// buffer was available are placed immediately (RNR retry resolution).
+func (q *QP) PostRecv(addr int64, length int) {
+	buf := RecvBuf{Addr: addr, Len: length}
+	if len(q.pendingSends) > 0 {
+		m := q.pendingSends[0]
+		q.pendingSends = q.pendingSends[1:]
+		q.nic.placeSend(q, m, buf)
+		return
+	}
+	q.recvBufs = append(q.recvBufs, buf)
+}
+
+// localCompleteFuture returns a future resolved when the message has left
+// the local NIC (the completion semantics of UC/UD).
+func (q *QP) localCompleteFuture(m *wireMsg, size int) *sim.Future[sim.Time] {
+	f := sim.NewFuture[sim.Time](q.nic.K)
+	done := q.nic.tx.Reserve(q.nic.Params.ProcPerWQE)
+	epoch := q.nic.epoch
+	n := q.nic
+	n.K.At(done, func() {
+		if n.epoch != epoch {
+			return
+		}
+		txDone := n.EP.Send(&fabric.Message{To: q.remoteNIC, Size: size, Payload: m})
+		n.K.At(txDone, func() { f.Complete(n.K.Now()) })
+	})
+	return f
+}
+
+// WriteAsync posts a one-sided write of n bytes to remote address raddr and
+// returns a future resolved at the work completion: the RC ACK (data staged
+// in remote SRAM — not durable!), or local wire-out for UC/UD.
+func (q *QP) WriteAsync(raddr int64, n int, data []byte) *sim.Future[sim.Time] {
+	m := &wireMsg{Kind: wWrite, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), Addr: raddr, N: n, Data: data}
+	if q.Transport != RC {
+		return q.localCompleteFuture(m, q.wireSize(n))
+	}
+	f := sim.NewFuture[sim.Time](q.nic.K)
+	q.acks[m.Seq] = f
+	q.reliablePost(m, q.wireSize(n), f.Done)
+	return f
+}
+
+// Write posts a write and blocks p until the work completion.
+func (q *QP) Write(p *sim.Proc, raddr int64, n int, data []byte) sim.Time {
+	return q.WriteAsync(raddr, n, data).Wait(p)
+}
+
+// WriteImmAsync is WriteAsync with an immediate value that raises a receive
+// completion at the remote CPU.
+func (q *QP) WriteImmAsync(raddr int64, n int, data []byte, imm uint32) *sim.Future[sim.Time] {
+	m := &wireMsg{Kind: wWriteImm, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), Addr: raddr, N: n, Data: data, Imm: imm}
+	if q.Transport != RC {
+		return q.localCompleteFuture(m, q.wireSize(n))
+	}
+	f := sim.NewFuture[sim.Time](q.nic.K)
+	q.acks[m.Seq] = f
+	q.reliablePost(m, q.wireSize(n), f.Done)
+	return f
+}
+
+// WriteImm posts a write-with-immediate and blocks until the completion.
+func (q *QP) WriteImm(p *sim.Proc, raddr int64, n int, data []byte, imm uint32) sim.Time {
+	return q.WriteImmAsync(raddr, n, data, imm).Wait(p)
+}
+
+// WriteFlushAsync posts a write followed by a WFlush (RC only). The returned
+// future resolves when the data is durable in the remote PM (T_B).
+//
+// In native mode the flush piggybacks on the write and the remote NIC ACKs
+// at persist completion. In emulated mode (the paper's measurement setup) a
+// 1-byte RDMA read of the last written byte follows the write; RC ordering
+// makes the read drain the pending DMA, so its response implies durability.
+func (q *QP) WriteFlushAsync(raddr int64, n int, data []byte) *sim.Future[sim.Time] {
+	if q.Transport != RC {
+		panic("rnic: WFlush requires RC")
+	}
+	if q.nic.Params.EmulateFlush {
+		q.WriteAsync(raddr, n, data)
+		durable := sim.NewFuture[sim.Time](q.nic.K)
+		rd := q.ReadAsync(raddr+int64(n)-1, 1)
+		k := q.nic.K
+		rd.Then(func([]byte) { durable.Complete(k.Now()) })
+		return durable
+	}
+	m := &wireMsg{Kind: wWrite, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), Addr: raddr, N: n, Data: data, Flush: true}
+	f := sim.NewFuture[sim.Time](q.nic.K)
+	q.flushes[m.Seq] = f
+	q.reliablePost(m, q.wireSize(n), f.Done)
+	return f
+}
+
+// WriteFlush posts write+WFlush and blocks p until the data is durable.
+func (q *QP) WriteFlush(p *sim.Proc, raddr int64, n int, data []byte) sim.Time {
+	return q.WriteFlushAsync(raddr, n, data).Wait(p)
+}
+
+// SendAsync posts a two-sided send. The future resolves at the RC ACK or at
+// local wire-out for UC/UD. UD payloads above the MTU panic; RPC layers must
+// segment or avoid them (the paper caps FaSST at 4 KB for this reason).
+func (q *QP) SendAsync(n int, data []byte) *sim.Future[sim.Time] {
+	if q.Transport == UD && n > UDMTU {
+		panic(fmt.Sprintf("rnic: UD payload %d exceeds MTU %d", n, UDMTU))
+	}
+	m := &wireMsg{Kind: wSend, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), N: n, Data: data}
+	if q.Transport != RC {
+		return q.localCompleteFuture(m, q.wireSize(n))
+	}
+	f := sim.NewFuture[sim.Time](q.nic.K)
+	q.acks[m.Seq] = f
+	q.reliablePost(m, q.wireSize(n), f.Done)
+	return f
+}
+
+// Send posts a send and blocks p until the work completion.
+func (q *QP) Send(p *sim.Proc, n int, data []byte) sim.Time {
+	return q.SendAsync(n, data).Wait(p)
+}
+
+// SendFlushAsync posts a send followed by an SFlush (RC only). The future
+// resolves when the payload is durable in the remote PM.
+//
+// Native mode: the remote NIC resolves the log address itself (AddrLookup),
+// DMAs the payload into the redo log, and flush-ACKs at persist completion;
+// the remote QP must have a FlushSink. Emulated mode: the receive buffers
+// themselves live in PM, the sender waits the paper's 7 µs address-lookup
+// emulation, then issues a 1-byte read against FlushProbe to drain the DMA.
+func (q *QP) SendFlushAsync(n int, data []byte) *sim.Future[sim.Time] {
+	if q.Transport != RC {
+		panic("rnic: SFlush requires RC")
+	}
+	if q.nic.Params.EmulateFlush {
+		q.SendAsync(n, data)
+		durable := sim.NewFuture[sim.Time](q.nic.K)
+		k := q.nic.K
+		probe := q.FlushProbe
+		k.After(q.nic.Params.AddrLookup, func() {
+			rd := q.ReadAsync(probe, 1)
+			rd.Then(func([]byte) { durable.Complete(k.Now()) })
+		})
+		return durable
+	}
+	m := &wireMsg{Kind: wSend, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), N: n, Data: data, Flush: true}
+	f := sim.NewFuture[sim.Time](q.nic.K)
+	q.flushes[m.Seq] = f
+	q.reliablePost(m, q.wireSize(n), f.Done)
+	return f
+}
+
+// SendFlush posts send+SFlush and blocks p until durable.
+func (q *QP) SendFlush(p *sim.Proc, n int, data []byte) sim.Time {
+	return q.SendFlushAsync(n, data).Wait(p)
+}
+
+// ReadAsync posts a one-sided read of n bytes at remote address raddr.
+func (q *QP) ReadAsync(raddr int64, n int) *sim.Future[[]byte] {
+	if q.Transport == UD {
+		panic("rnic: RDMA read requires a connected transport")
+	}
+	m := &wireMsg{Kind: wRead, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), Addr: raddr, N: n}
+	f := sim.NewFuture[[]byte](q.nic.K)
+	q.reads[m.Seq] = f
+	// A read request is small; the response carries the payload. Reads are
+	// idempotent, so retransmission needs no receiver-side dedup.
+	if q.Transport == RC {
+		q.reliablePost(m, q.nic.Params.HeaderBytes, f.Done)
+	} else {
+		q.nic.post(q.remoteNIC, m, q.nic.Params.HeaderBytes)
+	}
+	return f
+}
+
+// Read posts a read and blocks p for the data.
+func (q *QP) Read(p *sim.Proc, raddr int64, n int) []byte {
+	return q.ReadAsync(raddr, n).Wait(p)
+}
+
+// Notify sends a small application-level notification (used by RFlush-based
+// RPCs: the receiver CPU tells the sender its data is durable). It does not
+// involve the remote CPU.
+func (q *QP) Notify(tag uint64) {
+	m := &wireMsg{Kind: wNotify, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), Tag: tag}
+	q.nic.post(q.remoteNIC, m, q.nic.Params.AckBytes)
+}
+
+// ExpectNotify returns a future resolved when the peer's Notify(tag)
+// arrives. A notification that raced ahead resolves the future immediately.
+func (q *QP) ExpectNotify(tag uint64) *sim.Future[sim.Time] {
+	f := sim.NewFuture[sim.Time](q.nic.K)
+	for i, t := range q.pendingNotify {
+		if t == tag {
+			q.pendingNotify = append(q.pendingNotify[:i], q.pendingNotify[i+1:]...)
+			f.Complete(q.nic.K.Now())
+			return f
+		}
+	}
+	q.notifies[tag] = f
+	return f
+}

@@ -1,0 +1,88 @@
+package rnic
+
+import "prdma/internal/sim"
+
+// wireKind enumerates NIC-to-NIC message types.
+type wireKind int
+
+const (
+	wWrite wireKind = iota
+	wWriteImm
+	wSend
+	wRead
+	wReadResp
+	wAck      // RC acknowledgement (T_A: data staged in SRAM)
+	wFlushAck // flush acknowledgement (T_B: data durable in PM)
+	wNotify   // small application-level notification (RFlush completion)
+)
+
+func (k wireKind) String() string {
+	switch k {
+	case wWrite:
+		return "write"
+	case wWriteImm:
+		return "write-imm"
+	case wSend:
+		return "send"
+	case wRead:
+		return "read"
+	case wReadResp:
+		return "read-resp"
+	case wAck:
+		return "ack"
+	case wFlushAck:
+		return "flush-ack"
+	default:
+		return "notify"
+	}
+}
+
+// wireMsg is the payload carried by fabric messages between NICs.
+type wireMsg struct {
+	Kind         wireKind
+	SrcQP, DstQP int
+	Seq          uint64 // per-QP sequence for acks and dedup
+	Addr         int64  // target address (write/read)
+	N            int    // payload length
+	Data         []byte // nil for timing-only payloads
+	Imm          uint32 // immediate value (write-imm)
+	Flush        bool   // piggy-backed native flush request
+	Tag          uint64 // notify tag
+}
+
+// Arrival is delivered on QP.Arrivals when a one-sided write lands in
+// receiver memory, modelling what a polling server discovers.
+type Arrival struct {
+	Addr int64
+	N    int
+	Data []byte
+	// At is when the data became CPU-visible.
+	At sim.Time
+	// Durable is when (or whether) the data is persistent: zero means the
+	// data sits volatile in the LLC (DDIO) and needs a CPU flush.
+	Durable sim.Time
+	SrcQP   int
+}
+
+// Recv is delivered on QP.RecvCQ for two-sided operations and write-imm.
+type Recv struct {
+	// Addr is the receive-buffer (send) or target (write-imm) address.
+	Addr int64
+	N    int
+	Data []byte
+	Imm  uint32
+	// At is when the completion was raised.
+	At sim.Time
+	// Durable is when the payload is persistent (zero: not persistent).
+	Durable sim.Time
+	// LogAddr is where an SFlush deposited the payload in PM (else -1).
+	LogAddr int64
+	SrcQP   int
+	IsImm   bool
+}
+
+// RecvBuf is a posted receive buffer.
+type RecvBuf struct {
+	Addr int64
+	Len  int
+}

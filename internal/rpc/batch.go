@@ -1,0 +1,42 @@
+package rpc
+
+// opBatch is the internal operation code marking a batched request: one wire
+// message carrying several application requests (§4.3, Fig. 6 / Fig. 19).
+const opBatch Op = 200
+
+// stashBatch registers a batch under seq and returns the enclosing wire
+// request. The constituent requests travel inside the message body in a real
+// system; the simulation times the full body and passes the decoded slice
+// through the connection's batch table.
+func (c *conn) stashBatch(seq uint64, reqs []*Request) *Request {
+	total := 0
+	hasWrite := false
+	for _, r := range reqs {
+		total += reqWireBytes(r)
+		if r.Op == OpWrite {
+			hasWrite = true
+		}
+	}
+	_ = hasWrite
+	if c.batches == nil {
+		c.batches = make(map[uint64][]*Request)
+	}
+	c.batches[seq] = reqs
+	return &Request{Op: opBatch, Size: total - reqHeaderBytes, Key: uint64(len(reqs))}
+}
+
+// takeBatch retrieves and forgets the batch stashed under seq.
+func (c *conn) takeBatch(seq uint64) []*Request {
+	reqs := c.batches[seq]
+	delete(c.batches, seq)
+	return reqs
+}
+
+// batchRespBytes sums the response sizes of a batch.
+func batchRespBytes(reqs []*Request) int {
+	n := respHeaderBytes
+	for _, r := range reqs {
+		n += respWireBytes(r) - respHeaderBytes
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"prdma/internal/sim"
+)
+
+func TestOctopusWFlushRoundTrip(t *testing.T) {
+	b := newBench(t, 512, nil, nil)
+	c := NewOctopusDurable(b.cli, b.s, b.s.Cfg)
+	payload := bytes.Repeat([]byte{0x6F}, 512)
+	b.run(t, func(p *sim.Proc) {
+		w, err := c.Call(p, &Request{Op: OpWrite, Key: 9, Size: 512, Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.DurableAt == 0 {
+			t.Fatal("no durability time")
+		}
+		// Direct-to-home write: the object bytes are durable at the ACK,
+		// no server processing needed at all.
+		addr := b.store.Addr(9)
+		if got := b.srv.PM.ReadBytes(addr, 512); !bytes.Equal(got, payload) {
+			t.Fatal("object not durable in PM home at flush ACK")
+		}
+		r, err := c.Call(p, &Request{Op: OpRead, Key: 9, Size: 512, Payload: []byte{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(r.Data, payload) {
+			t.Fatal("one-sided read mismatch")
+		}
+	})
+}
+
+func TestOctopusWFlushAddressCache(t *testing.T) {
+	b := newBench(t, 128, nil, nil)
+	c := NewOctopusDurable(b.cli, b.s, b.s.Cfg).(*octopusDurable)
+	var first, second time.Duration
+	b.run(t, func(p *sim.Proc) {
+		r1, _ := c.Call(p, &Request{Op: OpWrite, Key: 3, Size: 128})
+		first = r1.ReadyAt.Sub(r1.IssuedAt)
+		r2, _ := c.Call(p, &Request{Op: OpWrite, Key: 3, Size: 128})
+		second = r2.ReadyAt.Sub(r2.IssuedAt)
+	})
+	if second >= first {
+		t.Fatalf("cached-address write (%v) should beat cold write (%v): the imm-RPC is skipped", second, first)
+	}
+	if len(c.addrCache) != 1 {
+		t.Fatalf("addrCache size %d", len(c.addrCache))
+	}
+}
+
+func TestOctopusWFlushBeatsPlainOctopusOnWrites(t *testing.T) {
+	mean := func(durable bool) time.Duration {
+		b := newBench(t, 4096, func(c *Config) { c.ProcessingTime = 30 * time.Microsecond }, nil)
+		var cl Client
+		if durable {
+			cl = NewOctopusDurable(b.cli, b.s, b.s.Cfg)
+		} else {
+			cl = NewOctopus(b.cli, b.s, b.s.Cfg)
+		}
+		var total time.Duration
+		const ops = 40
+		b.run(t, func(p *sim.Proc) {
+			for i := 0; i < ops; i++ {
+				r, err := cl.Call(p, &Request{Op: OpWrite, Key: uint64(i % 16), Size: 4096})
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += r.ReadyAt.Sub(r.IssuedAt)
+			}
+		})
+		return total / ops
+	}
+	plain, withFlush := mean(false), mean(true)
+	if withFlush >= plain {
+		t.Fatalf("Octopus+WFlush (%v) should beat plain Octopus (%v) for writes", withFlush, plain)
+	}
+}
+
+func TestOctopusWFlushDecodeAddrRoundTrip(t *testing.T) {
+	for _, a := range []int64{0, 1, 1 << 20, 1<<44 + 12345} {
+		if got := decodeAddr(encodeAddr(a)); got != a {
+			t.Fatalf("addr %d round-tripped to %d", a, got)
+		}
+	}
+}

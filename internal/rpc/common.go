@@ -1,0 +1,369 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"prdma/internal/host"
+	"prdma/internal/redolog"
+	"prdma/internal/rnic"
+	"prdma/internal/sim"
+)
+
+// reqHeaderBytes is the wire header prepended to every request payload:
+// seq(8) key(8) size(4) scan(4) op(1) pad(7).
+const reqHeaderBytes = 32
+
+// respHeaderBytes is the response header: seq(8) len(4) pad(4).
+const respHeaderBytes = 16
+
+// encodeReq serializes a request. Synthetic payloads (nil) yield a
+// header-only buffer; the wire/memory size is still header+Size.
+func encodeReq(seq uint64, req *Request) []byte {
+	n := reqHeaderBytes
+	if req.Payload != nil {
+		n += len(req.Payload)
+	}
+	if !carriesPayload(req.Op) {
+		n = reqHeaderBytes // only mutations carry a payload on the wire
+	}
+	b := make([]byte, n)
+	binary.LittleEndian.PutUint64(b[0:], seq)
+	binary.LittleEndian.PutUint64(b[8:], req.Key)
+	binary.LittleEndian.PutUint32(b[16:], uint32(req.Size))
+	binary.LittleEndian.PutUint32(b[20:], uint32(req.ScanLen))
+	b[24] = byte(req.Op)
+	if req.Payload != nil {
+		b[25] = 1 // "real contents" flag: the server materializes results
+	}
+	if carriesPayload(req.Op) {
+		copy(b[reqHeaderBytes:], req.Payload)
+	}
+	return b
+}
+
+// decodeReq parses a request from message bytes.
+func decodeReq(b []byte) (uint64, *Request) {
+	seq := binary.LittleEndian.Uint64(b[0:])
+	req := &Request{
+		Key:     binary.LittleEndian.Uint64(b[8:]),
+		Size:    int(binary.LittleEndian.Uint32(b[16:])),
+		ScanLen: int(binary.LittleEndian.Uint32(b[20:])),
+		Op:      Op(b[24]),
+	}
+	if len(b) > reqHeaderBytes {
+		pl := b[reqHeaderBytes:]
+		if len(pl) > req.Size {
+			pl = pl[:req.Size] // strip log-entry padding/commit trailer
+		}
+		req.Payload = pl
+	} else if b[25] == 1 {
+		req.Payload = []byte{} // non-nil: reads want real contents back
+	}
+	return seq, req
+}
+
+// carriesPayload reports whether op's requests carry object bytes.
+func carriesPayload(op Op) bool { return op == OpWrite || op == opHotpotPrepare }
+
+// reqWireBytes is the timed message size for a request.
+func reqWireBytes(req *Request) int {
+	if carriesPayload(req.Op) {
+		return reqHeaderBytes + req.Size
+	}
+	return reqHeaderBytes
+}
+
+// encodeResp serializes a response.
+func encodeResp(seq uint64, data []byte) []byte {
+	b := make([]byte, respHeaderBytes+len(data))
+	binary.LittleEndian.PutUint64(b[0:], seq)
+	binary.LittleEndian.PutUint32(b[8:], uint32(len(data)))
+	copy(b[respHeaderBytes:], data)
+	return b
+}
+
+// decodeResp parses a response.
+func decodeResp(b []byte) (uint64, []byte) {
+	seq := binary.LittleEndian.Uint64(b[0:])
+	n := int(binary.LittleEndian.Uint32(b[8:]))
+	if len(b) >= respHeaderBytes+n {
+		return seq, b[respHeaderBytes : respHeaderBytes+n]
+	}
+	return seq, nil
+}
+
+// respWireBytes is the timed message size for a response to req.
+func respWireBytes(req *Request) int {
+	switch req.Op {
+	case OpRead:
+		return respHeaderBytes + req.Size
+	case OpScan:
+		n := req.ScanLen
+		if n <= 0 {
+			n = 1
+		}
+		return respHeaderBytes + n*req.Size
+	default:
+		return respHeaderBytes
+	}
+}
+
+// respMsg is a matched response.
+type respMsg struct {
+	data []byte
+	at   sim.Time
+}
+
+// Server hosts the receive side of one or more RPC connections: the shared
+// worker pool and the object store.
+type Server struct {
+	H     *host.Host
+	Store *Store
+	Cfg   Config
+
+	work *sim.Chan[workItem]
+
+	// Stats.
+	Handled int64
+}
+
+// workItem is one queued request at the server. A batch carries its
+// constituent requests in reqs (req is then the enclosing opBatch frame).
+type workItem struct {
+	req     *Request
+	reqs    []*Request
+	respond func(p *sim.Proc, data []byte)
+	consume func(at sim.Time)
+	// epoch is the server crash epoch at enqueue time: items from before a
+	// crash are dropped (their state died with the DRAM work queue).
+	epoch int
+}
+
+// NewServer starts the worker pool on h.
+func NewServer(h *host.Host, store *Store, cfg Config) *Server {
+	s := &Server{H: h, Store: store, Cfg: cfg, work: sim.NewChan[workItem](h.K)}
+	if s.Cfg.Workers <= 0 {
+		s.Cfg.Workers = 1
+	}
+	for i := 0; i < s.Cfg.Workers; i++ {
+		h.K.Go(fmt.Sprintf("%s-worker-%d", h.Name, i), s.workerLoop)
+	}
+	return s
+}
+
+// workerLoop drains the shared work queue.
+func (s *Server) workerLoop(p *sim.Proc) {
+	for {
+		it := s.work.Pop(p)
+		if it.epoch != s.H.PM.Epoch() {
+			continue // enqueued before a crash: the request is gone
+		}
+		s.H.Dispatch(p)
+		reqs := it.reqs
+		if reqs == nil {
+			reqs = []*Request{it.req}
+		}
+		var data []byte
+		for _, r := range reqs {
+			if s.Cfg.ProcessingTime > 0 {
+				// The paper injects a fixed 100 µs to emulate real
+				// RPC logic (heavy load, following DaRPC).
+				s.H.ComputeExact(p, s.Cfg.ProcessingTime)
+			}
+			data = s.Store.ApplyFromBuffer(p, r)
+		}
+		if it.epoch != s.H.PM.Epoch() {
+			continue // the server crashed mid-processing: work lost
+		}
+		if it.respond != nil {
+			it.respond(p, data)
+		}
+		if it.consume != nil {
+			it.consume(p.Now())
+		}
+		s.Handled += int64(len(reqs))
+	}
+}
+
+// enqueue hands a request to the worker pool.
+func (s *Server) enqueue(it workItem) {
+	it.epoch = s.H.PM.Epoch()
+	s.work.Push(it)
+}
+
+// QueueDepth returns the number of waiting requests.
+func (s *Server) QueueDepth() int { return s.work.Len() }
+
+// Crash discards the volatile work queue (call alongside Host.Crash).
+func (s *Server) Crash() { s.work.Drain() }
+
+// conn is the shared state of one client↔server connection.
+type conn struct {
+	kind Kind
+	cli  *host.Host
+	srv  *Server
+	cfg  Config
+
+	cq *rnic.QP // client-side QP
+	sq *rnic.QP // server-side QP
+
+	// reqRing is the request message ring (server memory).
+	reqRing int64
+	// respRing is the response ring (client DRAM).
+	respRing int64
+
+	// log is the connection's redo log (durable RPCs only).
+	log *redolog.Log
+
+	seq     uint64
+	pending map[uint64]*sim.Future[respMsg]
+	// batches passes decoded batch contents to the server (see batch.go).
+	batches map[uint64][]*Request
+
+	closed bool
+}
+
+// newConn wires QPs and rings. The request ring is server DRAM — durable
+// RPCs place their write payloads in the PM redo log directly and only use
+// the ring as a message buffer for non-mutating requests.
+func newConn(kind Kind, cli *host.Host, srv *Server, cfg Config, tp rnic.Transport) *conn {
+	c := &conn{kind: kind, cli: cli, srv: srv, cfg: cfg, pending: make(map[uint64]*sim.Future[respMsg])}
+	c.cq = cli.NIC.CreateQP(tp)
+	c.sq = srv.H.NIC.CreateQP(tp)
+	rnic.Connect(c.cq, c.sq)
+
+	ringBytes := int64(cfg.RingSlots * cfg.SlotSize)
+	var err error
+	c.reqRing, err = srv.H.DRAMArena.Alloc(ringBytes)
+	if err != nil {
+		panic(err)
+	}
+	c.respRing, err = cli.DRAMArena.Alloc(ringBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// newLog attaches a redo log to the connection (durable RPCs).
+func (c *conn) newLog() {
+	base, err := c.srv.H.PMArena.Alloc(c.cfg.LogBytes)
+	if err != nil {
+		panic(err)
+	}
+	c.log = redolog.New(c.srv.H.K, c.srv.H.PM, base, c.cfg.LogBytes)
+}
+
+func (c *conn) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+func (c *conn) reqSlot(seq uint64) int64 {
+	return c.reqRing + int64(int(seq)%c.cfg.RingSlots)*int64(c.cfg.SlotSize)
+}
+
+func (c *conn) respSlot(seq uint64) int64 {
+	return c.respRing + int64(int(seq)%c.cfg.RingSlots)*int64(c.cfg.SlotSize)
+}
+
+// await registers a response future for seq.
+func (c *conn) await(seq uint64) *sim.Future[respMsg] {
+	f := sim.NewFuture[respMsg](c.cli.K)
+	c.pending[seq] = f
+	return f
+}
+
+// complete resolves the pending future for seq.
+func (c *conn) complete(seq uint64, data []byte, at sim.Time) {
+	if f, ok := c.pending[seq]; ok {
+		delete(c.pending, seq)
+		f.Complete(respMsg{data: data, at: at})
+	}
+}
+
+// startWriteDrain consumes response writes landing in the client's response
+// ring and matches them to pending futures.
+func (c *conn) startWriteDrain() {
+	cq := c.cq // bind to this connection incarnation
+	c.cli.K.Go(c.cli.Name+"-resp-drain", func(p *sim.Proc) {
+		for !c.closed && !cq.Dead() {
+			arr := cq.Arrivals.Pop(p)
+			c.cli.PollDelay(p)
+			if arr.Data == nil {
+				continue
+			}
+			seq, data := decodeResp(arr.Data)
+			c.complete(seq, data, p.Now())
+		}
+	})
+}
+
+// startRecvDrain consumes response sends (and write-imms) on the client QP.
+func (c *conn) startRecvDrain(repostDRAM bool) {
+	cq := c.cq // bind to this connection incarnation
+	c.cli.K.Go(c.cli.Name+"-resp-recv", func(p *sim.Proc) {
+		for !c.closed && !cq.Dead() {
+			rcv := cq.RecvCQ.Pop(p)
+			c.cli.PollDelay(p)
+			if repostDRAM && !rcv.IsImm {
+				cq.PostRecv(rcv.Addr, c.cfg.SlotSize)
+			}
+			if rcv.Data == nil {
+				continue
+			}
+			seq, data := decodeResp(rcv.Data)
+			c.complete(seq, data, p.Now())
+		}
+	})
+}
+
+// postClientRecvs posts the client's receive buffers for send-based
+// responses.
+func (c *conn) postClientRecvs() {
+	for i := 0; i < c.cfg.RingSlots; i++ {
+		c.cq.PostRecv(c.respSlot(uint64(i)), c.cfg.SlotSize)
+	}
+}
+
+// respondWrite returns a responder that writes the result into the client's
+// response ring (the write-based reply path of Fig. 2).
+func (c *conn) respondWrite(seq uint64, req *Request) func(p *sim.Proc, data []byte) {
+	return func(p *sim.Proc, data []byte) {
+		c.srv.H.Post(p)
+		c.sq.WriteAsync(c.respSlot(seq), respWireBytes(req), encodeResp(seq, data))
+	}
+}
+
+// respondSend returns a responder that sends the result (two-sided reply).
+func (c *conn) respondSend(seq uint64, req *Request) func(p *sim.Proc, data []byte) {
+	return func(p *sim.Proc, data []byte) {
+		c.srv.H.Post(p)
+		c.sq.SendAsync(respWireBytes(req), encodeResp(seq, data))
+	}
+}
+
+// respondWriteImm returns a responder using write-with-immediate (Octopus).
+func (c *conn) respondWriteImm(seq uint64, req *Request) func(p *sim.Proc, data []byte) {
+	return func(p *sim.Proc, data []byte) {
+		c.srv.H.Post(p)
+		c.sq.WriteImmAsync(c.respSlot(seq), respWireBytes(req), encodeResp(seq, data), uint32(seq))
+	}
+}
+
+// traditionalResponse assembles the Response for a fully-synchronous RPC:
+// ready, durable and done all coincide with the reply.
+func traditionalResponse(issued sim.Time, rm respMsg, k *sim.Kernel) *Response {
+	done := sim.NewFuture[sim.Time](k)
+	done.Complete(rm.at)
+	return &Response{
+		Data: rm.data, IssuedAt: issued, ReadyAt: rm.at,
+		DurableAt: rm.at, Done: done,
+	}
+}
+
+// Close tears down the connection's client-side procs.
+func (c *conn) Close() { c.closed = true }
+
+func (c *conn) Kind() Kind { return c.kind }

@@ -1,0 +1,85 @@
+package rpc
+
+import (
+	"fmt"
+
+	"prdma/internal/host"
+	"prdma/internal/rnic"
+	"prdma/internal/sim"
+)
+
+// sendClient implements the two-sided RPC models: DaRPC (Fig. 2(a), RC
+// send/recv both ways) and FaSST (Fig. 2(d), UD send/recv both ways, 4 KB
+// MTU). The receiver's CPU is interrupted for every message: it parses the
+// request from the receive buffer, processes it, and sends the response.
+type sendClient struct {
+	*conn
+}
+
+// NewDaRPC connects a DaRPC-style client from cli to srv.
+func NewDaRPC(cli *host.Host, srv *Server, cfg Config) Client {
+	return newSendClient(DaRPC, rnic.RC, cli, srv, cfg)
+}
+
+// NewFaSST connects a FaSST-style client (UD datagrams).
+func NewFaSST(cli *host.Host, srv *Server, cfg Config) Client {
+	return newSendClient(FaSST, rnic.UD, cli, srv, cfg)
+}
+
+func newSendClient(kind Kind, tp rnic.Transport, cli *host.Host, srv *Server, cfg Config) Client {
+	c := &sendClient{conn: newConn(kind, cli, srv, cfg, tp)}
+	// Server receive buffers live in the request ring (DRAM).
+	for i := 0; i < cfg.RingSlots; i++ {
+		c.sq.PostRecv(c.reqSlot(uint64(i)), cfg.SlotSize)
+	}
+	c.postClientRecvs()
+	c.startRecvDrain(true)
+	c.startServerRecv()
+	return c
+}
+
+func (c *sendClient) startServerRecv() {
+	c.srv.H.K.Go(c.srv.H.Name+"-"+c.kind.String()+"-recv", func(p *sim.Proc) {
+		for !c.closed {
+			rcv := c.sq.RecvCQ.Pop(p)
+			c.srv.H.PollDelay(p)
+			c.sq.PostRecv(rcv.Addr, c.cfg.SlotSize)
+			seq, req := decodeReq(rcv.Data)
+			var reqs []*Request
+			if req.Op == opBatch {
+				reqs = c.takeBatch(seq)
+			}
+			c.srv.enqueue(workItem{req: req, reqs: reqs, respond: c.respondSend(seq, req)})
+		}
+	})
+}
+
+func (c *sendClient) Call(p *sim.Proc, req *Request) (*Response, error) {
+	if c.kind == FaSST && reqWireBytes(req) > rnic.UDMTU {
+		return nil, fmt.Errorf("fasst: request %d bytes exceeds the UD MTU (%d)", reqWireBytes(req), rnic.UDMTU)
+	}
+	issued := p.Now()
+	seq := c.nextSeq()
+	f := c.await(seq)
+	c.cli.Post(p)
+	c.cq.SendAsync(reqWireBytes(req), encodeReq(seq, req))
+	rm := f.Wait(p)
+	return traditionalResponse(issued, rm, p.K), nil
+}
+
+// CallBatch batches several requests into one send (DaRPC batching, §4.3):
+// one message, one receiver interrupt, one response.
+func (c *sendClient) CallBatch(p *sim.Proc, reqs []*Request) ([]*Response, error) {
+	issued := p.Now()
+	seq := c.nextSeq()
+	breq := c.stashBatch(seq, reqs)
+	f := c.await(seq)
+	c.cli.Post(p)
+	c.cq.SendAsync(reqWireBytes(breq), encodeReq(seq, breq))
+	rm := f.Wait(p)
+	out := make([]*Response, len(reqs))
+	for i := range reqs {
+		out[i] = traditionalResponse(issued, rm, p.K)
+	}
+	return out, nil
+}

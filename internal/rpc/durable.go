@@ -1,0 +1,328 @@
+package rpc
+
+import (
+	"fmt"
+	"time"
+
+	"prdma/internal/host"
+	"prdma/internal/redolog"
+	"prdma/internal/rnic"
+	"prdma/internal/sim"
+)
+
+// durableClient implements the paper's four durable RPCs (§4.2, Fig. 4).
+// All of them decouple data persisting from RPC processing: every request is
+// deposited durably in the connection's redo log, the sender learns of
+// persistence via an RDMA Flush acknowledgement (or receiver notification),
+// and the server processes logged requests asynchronously, consuming log
+// entries as it completes them. After a crash, unprocessed-but-durable
+// requests replay from the log without client re-transmission.
+//
+//	WFlush-RPC   : RDMA write of the log entry + WFlush   (sender-initiated)
+//	SFlush-RPC   : RDMA send of the log entry  + SFlush   (sender-initiated)
+//	W-RFlush-RPC : RDMA write + receiver-side RFlush notify (receiver-init.)
+//	S-RFlush-RPC : RDMA send  + receiver-side RFlush notify (receiver-init.)
+type durableClient struct {
+	*conn
+	// resQueue is the FIFO of reserved log addresses for native SFlush.
+	resQueue []int64
+}
+
+// nativeSFlush reports whether this connection runs SFlush natively (NIC
+// resolves log addresses) rather than via the read-after-write emulation.
+func nativeSFlush(kind Kind, srv *Server) bool {
+	return kind == SFlushRPC && !srv.H.NIC.Params.EmulateFlush
+}
+
+// NewDurable connects one of the durable RPC clients from cli to srv.
+func NewDurable(kind Kind, cli *host.Host, srv *Server, cfg Config) Client {
+	if !kind.Durable() {
+		panic(fmt.Sprintf("rpc: %v is not a durable kind", kind))
+	}
+	c := &durableClient{conn: newConn(kind, cli, srv, cfg, rnic.RC)}
+	c.newLog()
+	c.wire()
+	return c
+}
+
+// wire starts the connection's procs and receive-buffer plumbing; it runs
+// both at construction and after Reestablish.
+func (c *durableClient) wire() {
+	switch c.kind {
+	case WFlushRPC, WRFlushRPC:
+		// Responses come back as writes into the client ring.
+		c.startWriteDrain()
+		c.startLogPoller()
+	case SFlushRPC, SRFlushRPC:
+		c.postClientRecvs()
+		c.startRecvDrain(true)
+		if nativeSFlush(c.kind, c.srv) {
+			// Native SFlush: the server NIC resolves log addresses
+			// autonomously. Reservations queue in FIFO order — RC
+			// delivery matches sends to reservations exactly. The
+			// message buffer is an ordinary DRAM recv ring.
+			c.sq.FlushSink = c.popReservation
+			for i := 0; i < c.cfg.RingSlots; i++ {
+				c.sq.PostRecv(c.reqSlot(uint64(i)), c.cfg.SlotSize)
+			}
+		}
+		c.cq.FlushProbe = c.log.Base()
+		c.startLogRecv()
+	}
+}
+
+// popReservation hands the server NIC the log address the sender reserved
+// for the next in-flight send (native SFlush); RC's in-order delivery makes
+// the FIFO matching exact.
+func (c *durableClient) popReservation(n int) int64 {
+	if len(c.resQueue) == 0 {
+		panic("rpc: SFlush arrived with no reservation")
+	}
+	a := c.resQueue[0]
+	c.resQueue = c.resQueue[1:]
+	return a
+}
+
+// startLogPoller is the server loop for the write-based durable RPCs: it
+// polls the log region for arrivals. For WFlush the NIC already
+// acknowledged durability to the sender; for W-RFlush the CPU sends the
+// RFlush notification here — before processing, which is the whole point.
+func (c *durableClient) startLogPoller() {
+	kind := c.kind
+	sq := c.sq // bind to this connection incarnation
+	c.srv.H.K.Go(c.srv.H.Name+"-"+kind.String()+"-poll", func(p *sim.Proc) {
+		for !c.closed && !sq.Dead() {
+			arr := sq.Arrivals.Pop(p)
+			c.srv.H.PollDelay(p)
+			if sq.Dead() {
+				return // crashed while polling: the request died in DRAM
+			}
+			seq, req := c.decodeEntry(arr.Data)
+			if kind == WRFlushRPC && mutatingOp(req.Op) {
+				// RFlush: with DDIO the write landed in the volatile
+				// LLC; the CPU must clflush it to the persist domain
+				// before acknowledging (§4.4.2). Without DDIO the log
+				// is a PM region the NIC persisted into already.
+				if arr.Durable == 0 {
+					c.srv.H.LLC.ClflushSync(p, arr.Addr, arr.N)
+				}
+				sq.Notify(seq)
+			}
+			c.enqueueLogged(seq, req, c.respondWrite(seq, req))
+		}
+	})
+}
+
+// startLogRecv is the server loop for the send-based durable RPCs.
+func (c *durableClient) startLogRecv() {
+	kind := c.kind
+	sq := c.sq // bind to this connection incarnation
+	repost := nativeSFlush(kind, c.srv)
+	c.srv.H.K.Go(c.srv.H.Name+"-"+kind.String()+"-recv", func(p *sim.Proc) {
+		for !c.closed && !sq.Dead() {
+			rcv := sq.RecvCQ.Pop(p)
+			c.srv.H.PollDelay(p)
+			if sq.Dead() {
+				return // crashed while polling
+			}
+			if repost {
+				sq.PostRecv(rcv.Addr, c.cfg.SlotSize)
+			}
+			seq, req := c.decodeEntry(rcv.Data)
+			if kind == SRFlushRPC && mutatingOp(req.Op) {
+				// RFlush: the receive buffers are log-resident PM; the
+				// payload is durable on arrival. Notify, then process.
+				sq.Notify(seq)
+			}
+			c.enqueueLogged(seq, req, c.respondSend(seq, req))
+		}
+	})
+}
+
+// enqueueLogged dispatches a logged request to the worker pool; completion
+// consumes the log entry.
+func (c *durableClient) enqueueLogged(seq uint64, req *Request, respond func(*sim.Proc, []byte)) {
+	var reqs []*Request
+	if req.Op == opBatch {
+		reqs = c.takeBatch(seq)
+	}
+	c.srv.enqueue(workItem{
+		req: req, reqs: reqs, respond: respond,
+		consume: func(at sim.Time) { c.log.Consume(at, seq) },
+	})
+}
+
+// mutatingOp reports whether op needs a durability acknowledgement.
+func mutatingOp(op Op) bool { return op == OpWrite || op == opBatch }
+
+// decodeEntry parses a redo-log entry image back into (seq, request).
+func (c *durableClient) decodeEntry(b []byte) (uint64, *Request) {
+	if len(b) < redolog.HeaderBytes+reqHeaderBytes {
+		panic("rpc: truncated log entry image")
+	}
+	seq, req := decodeReq(b[redolog.HeaderBytes:])
+	return seq, req
+}
+
+// admit performs §4.2 back-pressure (throttle on outstanding, retry on a
+// full ring) and reserves a log slot. It aborts with ErrTimeout if the
+// connection is replaced (crash recovery) while the caller waits — a waiter
+// must not touch a log that is being recovered; it re-runs its reconnection
+// protocol instead.
+func (c *durableClient) admit(p *sim.Proc, n int) (uint64, int64, error) {
+	myConn := c.conn
+	// stale reports conditions under which waiting is pointless: the
+	// connection was replaced under us, or the server crashed (outstanding
+	// entries will only drain after recovery, which the caller initiates).
+	stale := func() bool { return c.conn != myConn || myConn.sq.Dead() }
+	for c.log.Outstanding() >= c.cfg.ThrottleOutstanding {
+		p.Sleep(2 * time.Microsecond)
+		if stale() {
+			return 0, 0, ErrTimeout
+		}
+	}
+	seq, addr, err := c.log.Reserve(n)
+	for err != nil {
+		// Ring full: §4.2 back-pressure — throttle and retry.
+		p.Sleep(5 * time.Microsecond)
+		if stale() {
+			return 0, 0, ErrTimeout
+		}
+		seq, addr, err = c.log.Reserve(n)
+	}
+	return seq, addr, nil
+}
+
+// dispatch transmits a prepared log-entry image per the client's family and
+// returns the durability future. Flush machinery is engaged only when the
+// request mutates state: "RDMA Flush primitives are only needed for a small
+// portion of RDMA write operations" (§5.5) — read requests travel over the
+// same logged channel (FIFO ordering) but complete on their response, so
+// their durability future is just the transport acknowledgement.
+func (c *durableClient) dispatch(p *sim.Proc, seq uint64, addr int64, entryBytes int, image []byte, mutating bool) *sim.Future[sim.Time] {
+	// Non-mutating requests ride the DRAM message ring instead of the PM
+	// log: they keep FIFO order (same QP) but skip the persist machinery
+	// entirely. Their log reservation is consumed without ever being
+	// written — a read lost in a crash needs no recovery.
+	if !mutating {
+		switch c.kind {
+		case WFlushRPC, WRFlushRPC:
+			c.cli.Post(p)
+			return c.cq.WriteAsync(c.reqSlot(seq), entryBytes, image)
+		default: // SFlushRPC, SRFlushRPC
+			if !nativeSFlush(c.kind, c.srv) {
+				// Native mode keeps a pre-posted recv ring; the
+				// emulated modes post buffers per request.
+				c.sq.PostRecv(c.reqSlot(seq), entryBytes)
+			}
+			c.cli.Post(p)
+			return c.cq.SendAsync(entryBytes, image)
+		}
+	}
+	switch c.kind {
+	case WFlushRPC:
+		c.cli.Post(p)
+		return c.cq.WriteFlushAsync(addr, entryBytes, image)
+	case WRFlushRPC:
+		durF := c.cq.ExpectNotify(seq)
+		c.cli.Post(p)
+		c.cq.WriteAsync(addr, entryBytes, image)
+		return durF
+	case SFlushRPC:
+		if nativeSFlush(c.kind, c.srv) {
+			c.resQueue = append(c.resQueue, addr)
+		} else {
+			// Emulated SFlush: the receive buffer IS the log slot.
+			c.sq.PostRecv(addr, entryBytes)
+		}
+		c.cli.Post(p)
+		return c.cq.SendFlushAsync(entryBytes, image)
+	default: // SRFlushRPC
+		// Receive buffers are log-resident PM slots; the NIC persists
+		// on placement and the server CPU notifies.
+		c.sq.PostRecv(addr, entryBytes)
+		durF := c.cq.ExpectNotify(seq)
+		c.cli.Post(p)
+		c.cq.SendAsync(entryBytes, image)
+		return durF
+	}
+}
+
+// issue deposits one request durably and returns (seq, durable future,
+// response future).
+func (c *durableClient) issue(p *sim.Proc, req *Request) (uint64, *sim.Future[sim.Time], *sim.Future[respMsg], error) {
+	n := reqWireBytes(req)
+	seq, addr, err := c.admit(p, n)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	image := redolog.Encode(seq, byte(req.Op), n, encodeReq(seq, req))
+	entryBytes := int(redolog.EntrySize(n))
+	respF := c.await(seq)
+	durF := c.dispatch(p, seq, addr, entryBytes, image, req.Op == OpWrite)
+	return seq, durF, respF, nil
+}
+
+// Call implements the durable RPC contract: writes return at remote
+// persistence (the paper's early visibility), reads return with the data.
+func (c *durableClient) Call(p *sim.Proc, req *Request) (*Response, error) {
+	issued := p.Now()
+	_, durF, respF, err := c.issue(p, req)
+	if err != nil {
+		return nil, err
+	}
+	done := sim.NewFuture[sim.Time](p.K)
+	respF.Then(func(rm respMsg) { done.Complete(rm.at) })
+
+	if req.Op == OpWrite {
+		dur := durF.Wait(p)
+		return &Response{
+			IssuedAt: issued, ReadyAt: dur, DurableAt: dur, Done: done,
+		}, nil
+	}
+	rm := respF.Wait(p)
+	dur := sim.Time(0)
+	if durF.Done() {
+		dur = durF.Value()
+	}
+	return &Response{
+		Data: rm.data, IssuedAt: issued, ReadyAt: rm.at,
+		DurableAt: dur, Done: done,
+	}, nil
+}
+
+// CallBatch deposits a batch as one log entry with a single Flush (§4.3,
+// Fig. 6(b)): one large transfer, one durability acknowledgement.
+func (c *durableClient) CallBatch(p *sim.Proc, reqs []*Request) ([]*Response, error) {
+	issued := p.Now()
+	breq := &Request{Op: opBatch}
+	total := 0
+	for _, r := range reqs {
+		total += reqWireBytes(r)
+	}
+	breq.Size = total - reqHeaderBytes
+	n := reqWireBytes(breq)
+	seq, addr, err := c.admit(p, n)
+	if err != nil {
+		return nil, err
+	}
+	if c.batches == nil {
+		c.batches = make(map[uint64][]*Request)
+	}
+	c.batches[seq] = reqs
+	image := redolog.Encode(seq, byte(opBatch), n, encodeReq(seq, breq))
+	entryBytes := int(redolog.EntrySize(n))
+	respF := c.await(seq)
+	durF := c.dispatch(p, seq, addr, entryBytes, image, true)
+	done := sim.NewFuture[sim.Time](p.K)
+	respF.Then(func(rm respMsg) { done.Complete(rm.at) })
+	dur := durF.Wait(p)
+	out := make([]*Response, len(reqs))
+	for i := range reqs {
+		out[i] = &Response{IssuedAt: issued, ReadyAt: dur, DurableAt: dur, Done: done}
+	}
+	return out, nil
+}
+
+// Log exposes the connection's redo log (failure-recovery drivers use it).
+func (c *durableClient) Log() *redolog.Log { return c.log }

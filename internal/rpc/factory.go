@@ -1,0 +1,38 @@
+package rpc
+
+import (
+	"fmt"
+
+	"prdma/internal/host"
+)
+
+// New connects a client of the given kind from cli to srv.
+func New(kind Kind, cli *host.Host, srv *Server, cfg Config) Client {
+	switch kind {
+	case L5:
+		return NewL5(cli, srv, cfg)
+	case RFP:
+		return NewRFP(cli, srv, cfg)
+	case FaSST:
+		return NewFaSST(cli, srv, cfg)
+	case Octopus:
+		return NewOctopus(cli, srv, cfg)
+	case FaRM:
+		return NewFaRM(cli, srv, cfg)
+	case ScaleRPC:
+		return NewScaleRPC(cli, srv, cfg)
+	case DaRPC:
+		return NewDaRPC(cli, srv, cfg)
+	case Herd:
+		return NewHerd(cli, srv, cfg)
+	case LITE:
+		return NewLITE(cli, srv, cfg)
+	case SRFlushRPC, SFlushRPC, WRFlushRPC, WFlushRPC:
+		return NewDurable(kind, cli, srv, cfg)
+	case OctopusWFlush:
+		return NewOctopusDurable(cli, srv, cfg)
+	case Hotpot:
+		return NewHotpot(cli, srv, cfg)
+	}
+	panic(fmt.Sprintf("rpc: unknown kind %v (Mojim needs two servers: use NewMojim)", kind))
+}

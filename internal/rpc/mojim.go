@@ -1,0 +1,106 @@
+package rpc
+
+import (
+	"prdma/internal/host"
+	"prdma/internal/rnic"
+	"prdma/internal/sim"
+)
+
+// Mojim is the Table 1 entry for Mojim (ASPLOS '15): a reliable NVM system
+// with primary-backup mirroring.
+const Mojim = Kind(102)
+
+// mojimClient models Mojim's replicated write path: the client sends data
+// to the primary; the primary's CPU persists it locally, forwards it to the
+// mirror node, and only acknowledges the client once the mirror has
+// persisted too. Every hop involves a CPU — the contrast the paper's §4.5
+// discussion (and our NIC-offloaded chain) is about. Reads are served by
+// the primary alone.
+type mojimClient struct {
+	*conn
+	// fwd is the primary→mirror connection; the primary host is its
+	// client side.
+	fwd    *conn
+	mirror *Server
+}
+
+// NewMojim connects a Mojim-style client: cli → primary, mirrored to
+// mirror. The two servers must live on different hosts.
+func NewMojim(cli *host.Host, primary, mirror *Server, cfg Config) Client {
+	c := &mojimClient{
+		conn:   newConn(Mojim, cli, primary, cfg, rnic.RC),
+		fwd:    newConn(Mojim, primary.H, mirror, cfg, rnic.RC),
+		mirror: mirror,
+	}
+	for i := 0; i < cfg.RingSlots; i++ {
+		c.sq.PostRecv(c.reqSlot(uint64(i)), cfg.SlotSize)
+		c.fwd.sq.PostRecv(c.fwd.reqSlot(uint64(i)), cfg.SlotSize)
+	}
+	c.postClientRecvs()
+	c.fwd.postClientRecvs()
+	c.startRecvDrain(true)
+	c.fwd.startRecvDrain(true)
+	c.startPrimary()
+	c.startMirror()
+	return c
+}
+
+// startPrimary persists locally, mirrors, then acknowledges.
+func (c *mojimClient) startPrimary() {
+	sq := c.sq
+	c.srv.H.K.Go(c.srv.H.Name+"-mojim-primary", func(p *sim.Proc) {
+		for !c.closed && !sq.Dead() {
+			rcv := sq.RecvCQ.Pop(p)
+			c.srv.H.PollDelay(p)
+			if sq.Dead() {
+				return
+			}
+			sq.PostRecv(rcv.Addr, c.cfg.SlotSize)
+			seq, req := decodeReq(rcv.Data)
+			if req.Op != OpWrite {
+				c.srv.enqueue(workItem{req: req, respond: c.respondSend(seq, req)})
+				continue
+			}
+			// Local persist.
+			data := c.srv.Store.ApplyFromBuffer(p, req)
+			_ = data
+			// Mirror before acknowledging.
+			fseq := c.fwd.nextSeq()
+			ff := c.fwd.await(fseq)
+			c.srv.H.Post(p)
+			c.fwd.cq.SendAsync(reqWireBytes(req), encodeReq(fseq, req))
+			ff.Wait(p)
+			c.srv.H.Post(p)
+			sq.SendAsync(respHeaderBytes, encodeResp(seq, nil))
+		}
+	})
+}
+
+// startMirror persists the forwarded copy and acknowledges the primary.
+func (c *mojimClient) startMirror() {
+	msq := c.fwd.sq
+	c.mirror.H.K.Go(c.mirror.H.Name+"-mojim-mirror", func(p *sim.Proc) {
+		for !c.closed && !msq.Dead() {
+			rcv := msq.RecvCQ.Pop(p)
+			c.mirror.H.PollDelay(p)
+			if msq.Dead() {
+				return
+			}
+			msq.PostRecv(rcv.Addr, c.cfg.SlotSize)
+			seq, req := decodeReq(rcv.Data)
+			c.mirror.Store.ApplyFromBuffer(p, req)
+			c.mirror.H.Post(p)
+			msq.SendAsync(respHeaderBytes, encodeResp(seq, nil))
+		}
+	})
+}
+
+func (c *mojimClient) Call(p *sim.Proc, req *Request) (*Response, error) {
+	issued := p.Now()
+	seq := c.nextSeq()
+	f := c.await(seq)
+	c.cli.Post(p)
+	c.cq.SendAsync(reqWireBytes(req), encodeReq(seq, req))
+	rm := f.Wait(p)
+	return traditionalResponse(issued, rm, p.K), nil
+}

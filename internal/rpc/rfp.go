@@ -1,0 +1,73 @@
+package rpc
+
+import (
+	"prdma/internal/host"
+	"prdma/internal/rnic"
+	"prdma/internal/sim"
+)
+
+// rfpClient implements RFP's "remote fetching paradigm" (Fig. 2(f)): the
+// sender writes the request to the receiver, the receiver processes it and
+// deposits the result in its own memory, and the sender collects the result
+// with RDMA reads — polling until the result appears.
+type rfpClient struct {
+	*conn
+	// resultRing holds results in the server's DRAM, fetched by the client.
+	resultRing int64
+}
+
+// NewRFP connects an RFP-style client from cli to srv.
+func NewRFP(cli *host.Host, srv *Server, cfg Config) Client {
+	c := &rfpClient{conn: newConn(RFP, cli, srv, cfg, rnic.RC)}
+	var err error
+	c.resultRing, err = srv.H.DRAMArena.Alloc(int64(cfg.RingSlots * cfg.SlotSize))
+	if err != nil {
+		panic(err)
+	}
+	c.startPoller()
+	return c
+}
+
+func (c *rfpClient) resultSlot(seq uint64) int64 {
+	return c.resultRing + int64(int(seq)%c.cfg.RingSlots)*int64(c.cfg.SlotSize)
+}
+
+func (c *rfpClient) startPoller() {
+	c.srv.H.K.Go(c.srv.H.Name+"-rfp-poll", func(p *sim.Proc) {
+		for !c.closed {
+			arr := c.sq.Arrivals.Pop(p)
+			c.srv.H.PollDelay(p)
+			seq, req := decodeReq(arr.Data)
+			slot := c.resultSlot(seq)
+			c.srv.enqueue(workItem{req: req, respond: func(p *sim.Proc, data []byte) {
+				// The result is deposited locally; no wire traffic —
+				// the client fetches it.
+				c.srv.H.Memcpy(p, respHeaderBytes+len(data))
+				c.srv.H.DRAM.Write(slot, encodeResp(seq, data))
+			}})
+		}
+	})
+}
+
+func (c *rfpClient) Call(p *sim.Proc, req *Request) (*Response, error) {
+	issued := p.Now()
+	seq := c.nextSeq()
+	c.cli.Post(p)
+	c.cq.WriteAsync(c.reqSlot(seq), reqWireBytes(req), encodeReq(seq, req))
+	// Fetch loop: RDMA read the result slot until our seq appears.
+	slot := c.resultSlot(seq)
+	for {
+		p.Sleep(c.cfg.RFPPollInterval)
+		c.cli.Post(p)
+		b := c.cq.Read(p, slot, respWireBytes(req))
+		got, data := decodeResp(b)
+		if got == seq {
+			done := sim.NewFuture[sim.Time](p.K)
+			done.Complete(p.Now())
+			return &Response{
+				Data: data, IssuedAt: issued, ReadyAt: p.Now(),
+				DurableAt: p.Now(), Done: done,
+			}, nil
+		}
+	}
+}

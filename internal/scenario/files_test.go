@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedScenarioFiles loads and runs every scenario in /scenarios at a
+// reduced op count: the shipped examples must never rot.
+func TestShippedScenarioFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no shipped scenarios found")
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			f, err := os.Open(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			spec, err := Load(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Shrink for test speed; semantics unchanged.
+			spec.Ops = 300
+			spec.Objects = 128
+			if spec.Crashes != nil {
+				spec.Crashes.Count = 1
+				spec.Crashes.RestartMS = 2
+				spec.Crashes.RetransferMS = 1
+			}
+			rep, err := spec.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Ops == 0 {
+				t.Fatal("scenario ran zero ops")
+			}
+		})
+	}
+}

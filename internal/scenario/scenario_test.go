@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadAndDefaults(t *testing.T) {
+	s, err := Load(strings.NewReader(`{"rpc":"FaRM"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ops == 0 || s.Objects == 0 || s.ObjectSize == 0 || s.Clients == 0 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"rpc":"FaRM","bogus":1}`)); err == nil {
+		t.Fatal("expected error for unknown field")
+	}
+}
+
+func TestRunBasicScenario(t *testing.T) {
+	s := &Spec{RPC: "WFlush-RPC", Ops: 500, Objects: 256, ObjectSize: 1024, ReadFraction: 0.5}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 500 || rep.KOPS <= 0 || rep.AvgUS <= 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.P99US < rep.P50US {
+		t.Fatal("p99 < p50")
+	}
+	if rep.Counters["serverPersistOps"] == 0 {
+		t.Fatal("no persists counted")
+	}
+	if rep.Counters["handled"] == 0 {
+		t.Fatal("no handled ops counted")
+	}
+}
+
+func TestRunUnknownRPC(t *testing.T) {
+	s := &Spec{RPC: "NotARealRPC"}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("expected unknown-rpc error")
+	}
+}
+
+func TestRunMultiClient(t *testing.T) {
+	s := &Spec{RPC: "FaRM", Ops: 600, Objects: 128, ObjectSize: 512, Clients: 3}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 600 {
+		t.Fatalf("ops = %d", rep.Ops)
+	}
+}
+
+func TestRunBusyKnobsSlowdown(t *testing.T) {
+	base := &Spec{RPC: "FaRM", Ops: 400, Objects: 128, ObjectSize: 1024, Seed: 3}
+	r1, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := *base
+	busy.BusyNetwork = true
+	busy.BusyReceiver = true
+	r2, err := busy.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.AvgUS <= r1.AvgUS {
+		t.Fatalf("busy run (%v us) not slower than idle (%v us)", r2.AvgUS, r1.AvgUS)
+	}
+}
+
+func TestRunCrashScenario(t *testing.T) {
+	s := &Spec{
+		RPC: "WFlush-RPC", Ops: 400, Objects: 128, ObjectSize: 1024,
+		ProcessingUS: 5,
+		Crashes:      &CrashSpec{Count: 2, RestartMS: 2, RetransferMS: 1, Pipeline: 4},
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes != 2 {
+		t.Fatalf("crashes = %d", rep.Crashes)
+	}
+	if rep.Replayed == 0 {
+		t.Fatal("nothing replayed from the log")
+	}
+}
+
+func TestCrashScenarioRejectsNonRecoverable(t *testing.T) {
+	s := &Spec{RPC: "DaRPC", Crashes: &CrashSpec{Count: 1}}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("expected error: DaRPC has no recovery protocol")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	mk := func() *Report {
+		s := &Spec{RPC: "W-RFlush-RPC", Ops: 300, Objects: 64, ObjectSize: 256, Seed: 9}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := mk(), mk()
+	if a.Elapsed != b.Elapsed || a.AvgUS != b.AvgUS {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	s := &Spec{RPC: "WFlush-RPC", Ops: 50, Objects: 32, ObjectSize: 512, ReadFraction: 0.0, Trace: true, TraceEvents: 100, NativeFlush: true}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trace) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	found := false
+	for _, line := range rep.Trace {
+		if strings.Contains(line, "flush-ack") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no flush-ack events in trace (got %d events, first: %s)", len(rep.Trace), rep.Trace[0])
+	}
+}
+
+func TestRunHotpotScenario(t *testing.T) {
+	s := &Spec{RPC: "Hotpot", Ops: 200, Objects: 64, ObjectSize: 512, ReadFraction: 0.5}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 200 {
+		t.Fatalf("ops = %d", rep.Ops)
+	}
+}

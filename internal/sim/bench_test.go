@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkKernelEvents measures raw event dispatch throughput — the floor
+// under every experiment's wall-clock time.
+func BenchmarkKernelEvents(b *testing.B) {
+	k := New()
+	b.ReportAllocs()
+	n := 0
+	var reschedule func()
+	reschedule = func() {
+		n++
+		if n < b.N {
+			k.After(time.Microsecond, reschedule)
+		}
+	}
+	k.After(time.Microsecond, reschedule)
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkProcSwitch measures a full proc sleep/wake round trip (two
+// goroutine handoffs per iteration).
+func BenchmarkProcSwitch(b *testing.B) {
+	k := New()
+	b.ReportAllocs()
+	k.Go("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkResourceReserve measures the FIFO resource hot path.
+func BenchmarkResourceReserve(b *testing.B) {
+	k := New()
+	r := NewResource(k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reserve(time.Nanosecond)
+	}
+}
+
+// BenchmarkChanPushPop measures the proc queue hot path.
+func BenchmarkChanPushPop(b *testing.B) {
+	k := New()
+	c := NewChan[int](k)
+	b.ReportAllocs()
+	k.Go("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.Pop(p)
+		}
+	})
+	k.Go("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.Push(i)
+			p.Yield()
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}

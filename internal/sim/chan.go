@@ -1,0 +1,175 @@
+package sim
+
+import "time"
+
+// Chan is an unbounded FIFO queue that procs can block on. It is the
+// simulation analogue of a Go channel: Push never blocks (queues are
+// unbounded; back-pressure is modelled explicitly where the paper models
+// it), Pop blocks the calling proc until an item is available.
+type Chan[T any] struct {
+	k     *Kernel
+	items []T
+	cond  *Cond
+}
+
+// NewChan returns an empty queue bound to kernel k.
+func NewChan[T any](k *Kernel) *Chan[T] {
+	return &Chan[T]{k: k, cond: NewCond(k)}
+}
+
+// Push appends v and wakes one waiting proc.
+func (c *Chan[T]) Push(v T) {
+	c.items = append(c.items, v)
+	c.cond.Signal()
+}
+
+// Pop removes and returns the head item, blocking p until one is available.
+func (c *Chan[T]) Pop(p *Proc) T {
+	for len(c.items) == 0 {
+		c.cond.Wait(p)
+	}
+	v := c.items[0]
+	c.items = c.items[1:]
+	return v
+}
+
+// PopTimeout is like Pop but gives up after d. ok is false on timeout.
+func (c *Chan[T]) PopTimeout(p *Proc, d time.Duration) (v T, ok bool) {
+	deadline := p.K.Now().Add(d)
+	for len(c.items) == 0 {
+		remain := deadline.Sub(p.K.Now())
+		if remain <= 0 {
+			return v, false
+		}
+		if !c.cond.WaitTimeout(p, remain) && len(c.items) == 0 {
+			return v, false
+		}
+	}
+	v = c.items[0]
+	c.items = c.items[1:]
+	return v, true
+}
+
+// TryPop removes and returns the head item without blocking.
+func (c *Chan[T]) TryPop() (v T, ok bool) {
+	if len(c.items) == 0 {
+		return v, false
+	}
+	v = c.items[0]
+	c.items = c.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (c *Chan[T]) Len() int { return len(c.items) }
+
+// Drain removes and returns all queued items.
+func (c *Chan[T]) Drain() []T {
+	out := c.items
+	c.items = nil
+	return out
+}
+
+// Future is a one-shot completion carrying a value of type T. It is used
+// for work completions: the producer calls Complete once, any number of
+// procs may Wait.
+type Future[T any] struct {
+	k    *Kernel
+	done bool
+	val  T
+	cond *Cond
+	then []func(T)
+}
+
+// NewFuture returns an incomplete future.
+func NewFuture[T any](k *Kernel) *Future[T] {
+	return &Future[T]{k: k, cond: NewCond(k)}
+}
+
+// Complete resolves the future. Completing twice panics: completions in the
+// models are unique events and a double completion is a protocol bug.
+func (f *Future[T]) Complete(v T) {
+	if f.done {
+		panic("sim: future completed twice")
+	}
+	f.done = true
+	f.val = v
+	f.cond.Broadcast()
+	for _, fn := range f.then {
+		fn(v)
+	}
+	f.then = nil
+}
+
+// Then registers fn to run (at the completion event's virtual time) when the
+// future resolves; if it already has, fn runs immediately.
+func (f *Future[T]) Then(fn func(T)) {
+	if f.done {
+		fn(f.val)
+		return
+	}
+	f.then = append(f.then, fn)
+}
+
+// Done reports whether the future has resolved.
+func (f *Future[T]) Done() bool { return f.done }
+
+// Value returns the resolved value; valid only after Done.
+func (f *Future[T]) Value() T { return f.val }
+
+// Wait blocks p until the future resolves and returns its value.
+func (f *Future[T]) Wait(p *Proc) T {
+	for !f.done {
+		f.cond.Wait(p)
+	}
+	return f.val
+}
+
+// WaitTimeout blocks p until the future resolves or d elapses. ok reports
+// whether the future resolved.
+func (f *Future[T]) WaitTimeout(p *Proc, d time.Duration) (v T, ok bool) {
+	deadline := p.K.Now().Add(d)
+	for !f.done {
+		remain := deadline.Sub(p.K.Now())
+		if remain <= 0 {
+			return v, false
+		}
+		if !f.cond.WaitTimeout(p, remain) && !f.done {
+			return v, false
+		}
+	}
+	return f.val, true
+}
+
+// WaitGroup counts outstanding work items for procs.
+type WaitGroup struct {
+	k    *Kernel
+	n    int
+	cond *Cond
+}
+
+// NewWaitGroup returns a WaitGroup bound to kernel k.
+func NewWaitGroup(k *Kernel) *WaitGroup {
+	return &WaitGroup{k: k, cond: NewCond(k)}
+}
+
+// Add increments the counter by delta.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		w.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks p until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.n != 0 {
+		w.cond.Wait(p)
+	}
+}

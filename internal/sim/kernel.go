@@ -1,0 +1,162 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a priority queue of events ordered by virtual time,
+// with ties broken by insertion sequence so that runs are exactly
+// reproducible. Simulated "threads" (Proc) are backed by goroutines, but the
+// kernel guarantees that at most one proc runs at any instant and that
+// control is handed over synchronously, so the simulation is deterministic
+// regardless of the Go scheduler.
+//
+// Virtual time is measured in integer nanoseconds (Time). All latencies in
+// the PRDMA models are expressed as time.Duration and added to Time values.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier time s.
+func (t Time) Sub(s Time) time.Duration { return time.Duration(t - s) }
+
+// Duration converts t to a duration since time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	// canceled events stay in the heap but are skipped when popped.
+	canceled *bool
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulation engine.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// handoff channel used by procs to return control to the kernel.
+	handoff chan struct{}
+	// current proc, nil while the kernel itself runs an event callback.
+	cur *Proc
+
+	procs   int // live procs, for leak diagnostics
+	stopped bool
+}
+
+// New returns a fresh kernel at virtual time zero.
+func New() *Kernel {
+	return &Kernel{handoff: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports the number of scheduled (possibly canceled) events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Procs reports the number of live procs.
+func (k *Kernel) Procs() int { return k.procs }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// that is always a model bug.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	c := false
+	ev := &event{at: t, seq: k.seq, fn: fn, canceled: &c}
+	heap.Push(&k.events, ev)
+	return &Timer{canceled: &c, at: t}
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct {
+	canceled *bool
+	at       Time
+}
+
+// Stop cancels the timer. It is safe to call after the event fired (no-op).
+func (t *Timer) Stop() {
+	if t != nil && t.canceled != nil {
+		*t.canceled = true
+	}
+}
+
+// When returns the virtual time the timer fires at.
+func (t *Timer) When() Time { return t.at }
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamps <= deadline. The virtual clock is
+// left at the timestamp of the last executed event (or the deadline if that
+// is later and events remain).
+func (k *Kernel) RunUntil(deadline Time) {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		ev := k.events[0]
+		if ev.at > deadline {
+			k.now = deadline
+			return
+		}
+		heap.Pop(&k.events)
+		if *ev.canceled {
+			continue
+		}
+		if ev.at < k.now {
+			panic("sim: event queue went backwards")
+		}
+		k.now = ev.at
+		ev.fn()
+	}
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// RunFor runs for d of virtual time from now.
+func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now.Add(d)) }

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proc is a simulated thread of execution. Procs are backed by goroutines,
+// but the kernel ensures at most one proc runs at a time: a proc only
+// executes between a resume handoff from the kernel and its next blocking
+// call (Sleep, Yield, Chan.Pop, Cond.Wait, ...), at which point it hands
+// control back synchronously. This gives sequential, deterministic semantics
+// while letting protocol code be written in a natural blocking style.
+type Proc struct {
+	K      *Kernel
+	Name   string
+	resume chan struct{}
+	dead   bool
+	killed bool
+}
+
+// Go spawns a new proc that starts executing at the current virtual time
+// (after already-scheduled events at the same timestamp).
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	return k.GoAt(k.now, name, fn)
+}
+
+// GoAfter spawns a proc that starts after delay d.
+func (k *Kernel) GoAfter(d time.Duration, name string, fn func(p *Proc)) *Proc {
+	return k.GoAt(k.now.Add(d), name, fn)
+}
+
+// GoAt spawns a proc that starts at time t.
+func (k *Kernel) GoAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{K: k, Name: name, resume: make(chan struct{})}
+	k.procs++
+	go func() {
+		<-p.resume // wait for first scheduling
+		if !p.killed {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(procKilled); ok {
+							return // Kill() unwound the proc
+						}
+						panic(r)
+					}
+				}()
+				fn(p)
+			}()
+		}
+		p.dead = true
+		p.K.procs--
+		p.K.cur = nil
+		p.K.handoff <- struct{}{}
+	}()
+	k.At(t, func() { k.schedule(p) })
+	return p
+}
+
+// procKilled is the panic payload used to unwind a killed proc.
+type procKilled struct{}
+
+// schedule transfers control from the kernel to p until p blocks or exits.
+func (k *Kernel) schedule(p *Proc) {
+	if p.dead {
+		return
+	}
+	k.cur = p
+	p.resume <- struct{}{}
+	<-k.handoff
+}
+
+// block hands control back to the kernel; the proc stays suspended until
+// something calls wake (via a scheduled event).
+func (p *Proc) block() {
+	if p.K.cur != p {
+		panic("sim: blocking call from a proc that is not running")
+	}
+	p.K.cur = nil
+	p.K.handoff <- struct{}{}
+	<-p.resume
+	p.K.cur = p
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// wakeAt schedules p to resume at time t.
+func (p *Proc) wakeAt(t Time) {
+	p.K.At(t, func() { p.K.schedule(p) })
+}
+
+// Sleep suspends the proc for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.wakeAt(p.K.now.Add(d))
+	p.block()
+}
+
+// Yield reschedules the proc at the current time, after other pending events
+// with the same timestamp.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.K.Now() }
+
+// Kill terminates the proc the next time it would resume. A proc cannot kill
+// itself; it should just return instead.
+func (p *Proc) Kill() {
+	if p.dead || p.killed {
+		return
+	}
+	if p.K.cur == p {
+		panic("sim: proc cannot Kill itself; return instead")
+	}
+	p.killed = true
+	// Wake it so the kill panic unwinds it promptly. If it is currently
+	// blocked on a Cond/Chan it will be resumed here; double resumes are
+	// harmless because killed procs unwind immediately.
+	p.wakeAt(p.K.now)
+}
+
+// Dead reports whether the proc has finished.
+func (p *Proc) Dead() bool { return p.dead }
+
+// Killed reports whether the proc was killed (it may not have unwound yet).
+func (p *Proc) Killed() bool { return p.killed }
+
+func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.Name) }
+
+// Cond is a waiting list that procs can block on until signaled. Unlike
+// sync.Cond there is no associated lock: the simulation is single-threaded,
+// so state checked before Wait cannot change until the proc blocks.
+type Cond struct {
+	K       *Kernel
+	waiters []*Proc
+	// woken tracks procs resumed by Signal/Broadcast so WaitTimeout can
+	// tell signals from timeouts.
+	woken []*Proc
+}
+
+// NewCond returns a Cond bound to kernel k.
+func NewCond(k *Kernel) *Cond { return &Cond{K: k} }
+
+// Wait blocks p until Signal or Broadcast. Spurious wakeups do not occur,
+// but callers typically still re-check their predicate in a loop because
+// another woken proc may consume the state first.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.block()
+	c.clearWoken(p)
+}
+
+// WaitTimeout blocks p until signaled or until d elapses. It reports whether
+// the proc was signaled (false = timeout).
+func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
+	signaled := false
+	c.waiters = append(c.waiters, p)
+	timer := p.K.After(d, func() {
+		// Remove p from the wait list and wake it.
+		for i, w := range c.waiters {
+			if w == p {
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				p.wakeAt(p.K.now)
+				return
+			}
+		}
+	})
+	p.block()
+	// If we are no longer in the waiters list due to Signal, the timer may
+	// still be pending; stop it. If the timer fired, Signal can no longer
+	// find us. Either way this is safe.
+	timer.Stop()
+	// We were signaled iff the timer's removal path did not run. The removal
+	// path only runs when p was still in waiters; Signal also removes us.
+	// Disambiguate via the signaled flag set below by Signal.
+	for _, w := range c.woken {
+		if w == p {
+			signaled = true
+		}
+	}
+	c.clearWoken(p)
+	return signaled
+}
+
+func (c *Cond) clearWoken(p *Proc) {
+	for i, w := range c.woken {
+		if w == p {
+			c.woken = append(c.woken[:i], c.woken[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal wakes the longest-waiting proc, if any.
+func (c *Cond) Signal() {
+	for len(c.waiters) > 0 {
+		p := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if p.dead {
+			continue
+		}
+		c.woken = append(c.woken, p)
+		p.wakeAt(c.K.now)
+		return
+	}
+}
+
+// Broadcast wakes all waiting procs.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		if p.dead {
+			continue
+		}
+		c.woken = append(c.woken, p)
+		p.wakeAt(c.K.now)
+	}
+}

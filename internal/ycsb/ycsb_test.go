@@ -1,0 +1,191 @@
+package ycsb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+)
+
+func TestZipfianRange(t *testing.T) {
+	z := NewZipfian(sim.NewRand(1), 1000, 0.99)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("zipfian out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(sim.NewRand(2), 10000, 0.99)
+	counts := make(map[int64]int)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 should dominate: with theta=0.99 over 10k items it gets ~10%.
+	if frac := float64(counts[0]) / draws; frac < 0.05 {
+		t.Fatalf("head item got only %.1f%% of draws", frac*100)
+	}
+	// And the tail should still be hit.
+	distinct := len(counts)
+	if distinct < 1000 {
+		t.Fatalf("only %d distinct keys drawn", distinct)
+	}
+}
+
+func TestScrambledSpreadsHotKeys(t *testing.T) {
+	z := NewZipfian(sim.NewRand(3), 10000, 0.99)
+	counts := make(map[int64]int)
+	for i := 0; i < 100000; i++ {
+		k := z.Scrambled()
+		if k < 0 || k >= 10000 {
+			t.Fatalf("scrambled key out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// The hottest key must not be key 0 by construction; find the top key
+	// and check the distribution is still skewed.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 5000 {
+		t.Fatalf("scrambling destroyed skew: max count %d", max)
+	}
+}
+
+func TestZipfianDeterminism(t *testing.T) {
+	a := NewZipfian(sim.NewRand(7), 1000, 0.99)
+	b := NewZipfian(sim.NewRand(7), 1000, 0.99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("zipfian not deterministic")
+		}
+	}
+}
+
+func TestWorkloadMixRatios(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 1000
+	cases := []struct {
+		w           Workload
+		wantWrites  float64
+		wantScans   float64
+		tol         float64
+		rmwExpected bool
+	}{
+		{A, 0.50, 0, 0.03, false},
+		{B, 0.05, 0, 0.02, false},
+		{C, 0.00, 0, 0.001, false},
+		{D, 0.05, 0, 0.02, false},
+		{E, 0.05, 0.95, 0.02, false},
+		{F, 0.25, 0, 0.03, true}, // 50% RMW -> 1/3 of ops are writes; per-pair accounting below
+	}
+	for _, c := range cases {
+		g := NewGenerator(c.w, cfg)
+		var reads, writes, scans, total int
+		const draws = 20000
+		for i := 0; i < draws; i++ {
+			for _, r := range g.Next() {
+				total++
+				switch r.Op {
+				case rpc.OpWrite:
+					writes++
+				case rpc.OpScan:
+					scans++
+				default:
+					reads++
+				}
+			}
+		}
+		wf := float64(writes) / float64(total)
+		sf := float64(scans) / float64(total)
+		wantW, wantS := c.wantWrites, c.wantScans
+		if c.w == F {
+			// F emits read+write pairs for RMW: writes/total ~ 1/3.
+			wantW = 1.0 / 3
+		}
+		if c.w == E {
+			wantS = 0.95
+		}
+		if diff := wf - wantW; diff > c.tol || diff < -c.tol {
+			t.Errorf("workload %v: write frac %.3f, want %.3f", c.w, wf, wantW)
+		}
+		if diff := sf - wantS; diff > 0.03 || diff < -0.03 {
+			t.Errorf("workload %v: scan frac %.3f, want %.3f", c.w, sf, wantS)
+		}
+		if c.rmwExpected && g.RMWs == 0 {
+			t.Errorf("workload %v: no RMWs", c.w)
+		}
+	}
+}
+
+func TestWorkloadDInsertsGrowKeyspace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 100
+	g := NewGenerator(D, cfg)
+	for i := 0; i < 5000; i++ {
+		g.Next()
+	}
+	if g.inserted <= 100 {
+		t.Fatal("workload D never inserted")
+	}
+	// Latest-distribution reads target recent keys.
+	recent := 0
+	for i := 0; i < 1000; i++ {
+		reqs := g.Next()
+		r := reqs[0]
+		if r.Op == rpc.OpRead && int64(r.Key) > g.inserted-64 {
+			recent++
+		}
+	}
+	if recent < 500 {
+		t.Fatalf("only %d of ~950 reads hit recent keys", recent)
+	}
+}
+
+func TestScanLengthsBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 100
+	g := NewGenerator(E, cfg)
+	for i := 0; i < 5000; i++ {
+		for _, r := range g.Next() {
+			if r.Op == rpc.OpScan && (r.ScanLen < 1 || r.ScanLen > cfg.MaxScan) {
+				t.Fatalf("scan length %d out of bounds", r.ScanLen)
+			}
+		}
+	}
+}
+
+func TestMixReadFraction(t *testing.T) {
+	f := func(fracRaw uint8) bool {
+		frac := float64(fracRaw%101) / 100
+		m := NewMix(frac, 1000, 64, 9)
+		reads := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			if m.Next().Op == rpc.OpRead {
+				reads++
+			}
+		}
+		got := float64(reads) / n
+		return got > frac-0.05 && got < frac+0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixKeysInRange(t *testing.T) {
+	m := NewMix(0.5, 500, 64, 10)
+	for i := 0; i < 10000; i++ {
+		if k := m.Next().Key; k >= 500 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package prdma_test
+
+import (
+	"testing"
+	"time"
+
+	"prdma"
+)
+
+// TestCalibrationConstants pins the DESIGN.md §4 timing model to the code:
+// if a default drifts, this test points at the stale documentation — and at
+// the experiments whose calibration depended on it.
+func TestCalibrationConstants(t *testing.T) {
+	p := prdma.DefaultParams()
+
+	// Network: ConnectX-4-like.
+	if p.Net.Propagation != 800*time.Nanosecond {
+		t.Errorf("propagation = %v, DESIGN.md says 0.8us", p.Net.Propagation)
+	}
+	if p.Net.BytesPerSec != 5e9 {
+		t.Errorf("link bandwidth = %v, DESIGN.md says 5 GB/s", p.Net.BytesPerSec)
+	}
+
+	// PM: the asymmetry that drives the 64 KB results.
+	if p.PM.DMABytesPerSec <= p.PM.CPUBytesPerSec {
+		t.Error("NIC DMA persist path must out-run the CPU clwb path")
+	}
+	if p.PM.PersistBase != 500*time.Nanosecond {
+		t.Errorf("persist base = %v, DESIGN.md says 0.5us", p.PM.PersistBase)
+	}
+
+	// NIC: the paper's emulation constants.
+	if p.NIC.AddrLookup != 7*time.Microsecond {
+		t.Errorf("SFlush address lookup = %v, the paper emulates ~7us", p.NIC.AddrLookup)
+	}
+	if !p.NIC.EmulateFlush {
+		t.Error("default must be the paper's measured emulation mode")
+	}
+	if p.NIC.DDIO {
+		t.Error("the paper disables DDIO by default (§5.1)")
+	}
+	if p.NIC.RetransmitInterval != 100*time.Millisecond {
+		t.Errorf("re-transfer interval = %v, the paper sets 100ms", p.NIC.RetransmitInterval)
+	}
+
+	// Failure experiment constants.
+	fp := prdma.DefaultFailureParams()
+	if fp.Restart != 300*time.Millisecond {
+		t.Errorf("restart = %v, the paper's unikernels restart in ~300ms", fp.Restart)
+	}
+	if fp.Retransfer != 100*time.Millisecond {
+		t.Errorf("retransfer = %v, want 100ms", fp.Retransfer)
+	}
+
+	// YCSB: §5.1 parameters.
+	y := prdma.DefaultYCSBConfig()
+	if y.Records != 50000 || y.ValueSize != 4096 || y.Theta != 0.99 {
+		t.Errorf("YCSB defaults %+v diverge from §5.1 (50K records, 4KB values, 0.99 skew)", y)
+	}
+
+	// Graph datasets: §5.1 sizes.
+	if prdma.WordAssociation.Nodes != 10000 || prdma.WordAssociation.Edges != 72000 {
+		t.Error("wordassociation-2011 size drifted")
+	}
+	if prdma.Enron.Nodes != 69000 || prdma.Enron.Edges != 276000 {
+		t.Error("enron size drifted")
+	}
+	if prdma.DBLP.Nodes != 326000 || prdma.DBLP.Edges != 1615000 {
+		t.Error("dblp-2010 size drifted")
+	}
+}

@@ -1,0 +1,164 @@
+// Package prdma is a faithful, simulation-backed reproduction of
+// "Hardware-Supported Remote Persistence for Distributed Persistent Memory"
+// (Duan, Lu, et al., SC '21).
+//
+// It models a distributed-PM testbed — Optane-like persistent memory,
+// RNICs with volatile staging SRAM, an InfiniBand-like fabric, DDIO — on a
+// deterministic discrete-event kernel, and implements on top of it:
+//
+//   - the paper's RDMA Flush primitives (WFlush, SFlush, RFlush), both the
+//     native form and the read-after-write emulation the paper measures;
+//   - the four durable RPCs (WFlush-RPC, SFlush-RPC, W-RFlush-RPC,
+//     S-RFlush-RPC) with redo logging and crash recovery;
+//   - the seven baseline RPC systems the paper compares against (L5, RFP,
+//     FaSST, Octopus, FaRM, ScaleRPC, DaRPC) plus Herd and LITE;
+//   - the evaluation workloads: micro-benchmarks, YCSB A–F, PageRank, and
+//     failure injection.
+//
+// The entry point is Cluster: build one, connect clients with the RPC kind
+// under test, and drive requests from simulated procs. See examples/ for
+// runnable programs and bench_test.go for the figure reproductions.
+package prdma
+
+import (
+	"fmt"
+
+	"prdma/internal/fabric"
+	"prdma/internal/host"
+	"prdma/internal/pmem"
+	"prdma/internal/rnic"
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+)
+
+// Re-exported core types: the public API speaks in these.
+type (
+	// Kind selects an RPC system.
+	Kind = rpc.Kind
+	// Request is one RPC invocation.
+	Request = rpc.Request
+	// Response is an RPC outcome; ReadyAt is the paper's latency metric.
+	Response = rpc.Response
+	// Client issues RPCs from one sender host.
+	Client = rpc.Client
+	// BatchClient supports batched RPCs (§4.3).
+	BatchClient = rpc.BatchClient
+	// Recoverable supports the failure-recovery protocol (§5.4).
+	Recoverable = rpc.Recoverable
+	// Op is the application-level operation code.
+	Op = rpc.Op
+	// Proc is a simulated thread; all client calls run on one.
+	Proc = sim.Proc
+	// Time is virtual time.
+	Time = sim.Time
+)
+
+// The RPC systems (paper Table 1 / §4.2).
+const (
+	L5         = rpc.L5
+	RFP        = rpc.RFP
+	FaSST      = rpc.FaSST
+	Octopus    = rpc.Octopus
+	FaRM       = rpc.FaRM
+	ScaleRPC   = rpc.ScaleRPC
+	DaRPC      = rpc.DaRPC
+	Herd       = rpc.Herd
+	LITE       = rpc.LITE
+	SRFlushRPC = rpc.SRFlushRPC
+	SFlushRPC  = rpc.SFlushRPC
+	WRFlushRPC = rpc.WRFlushRPC
+	WFlushRPC  = rpc.WFlushRPC
+)
+
+// Operation codes.
+const (
+	OpRead  = rpc.OpRead
+	OpWrite = rpc.OpWrite
+	OpScan  = rpc.OpScan
+)
+
+// Kind groupings, in the paper's plotting order.
+var (
+	Kinds        = rpc.Kinds
+	WriteKinds   = rpc.WriteKinds
+	SendKinds    = rpc.SendKinds
+	DurableKinds = rpc.DurableKinds
+)
+
+// Params aggregates every model knob. Zero values take defaults.
+type Params struct {
+	Net  fabric.Params
+	Host host.Params
+	PM   pmem.Params
+	NIC  rnic.Params
+	RPC  rpc.Config
+	Seed uint64
+}
+
+// DefaultParams returns the calibrated defaults of DESIGN.md §4.
+func DefaultParams() Params {
+	return Params{
+		Net:  fabric.DefaultParams(),
+		Host: host.DefaultParams(),
+		PM:   pmem.DefaultParams(),
+		NIC:  rnic.DefaultParams(),
+		RPC:  rpc.DefaultConfig(),
+		Seed: 1,
+	}
+}
+
+// Cluster is a simulated testbed: one server with PM and a store, plus any
+// number of client hosts, all on one fabric and virtual clock.
+type Cluster struct {
+	K   *sim.Kernel
+	Net *fabric.Network
+
+	Server  *host.Host
+	Engine  *rpc.Server
+	Store   *rpc.Store
+	Clients []*host.Host
+
+	Params Params
+}
+
+// NewCluster builds a testbed with numClients client hosts and a server
+// store holding `objects` objects of objSize bytes.
+func NewCluster(p Params, numClients, objects, objSize int) (*Cluster, error) {
+	k := sim.New()
+	net := fabric.New(k, p.Net, p.Seed)
+	c := &Cluster{K: k, Net: net, Params: p}
+	c.Server = host.New(k, "server", net, p.Host, p.PM, p.NIC)
+	var err error
+	c.Store, err = rpc.NewStore(c.Server, objects, objSize)
+	if err != nil {
+		return nil, fmt.Errorf("prdma: %w", err)
+	}
+	c.Engine = rpc.NewServer(c.Server, c.Store, p.RPC)
+	for i := 0; i < numClients; i++ {
+		c.Clients = append(c.Clients, host.New(k, fmt.Sprintf("client-%d", i), net, p.Host, p.PM, p.NIC))
+	}
+	return c, nil
+}
+
+// MustCluster is NewCluster that panics on setup errors (benchmarks).
+func MustCluster(p Params, numClients, objects, objSize int) *Cluster {
+	c, err := NewCluster(p, numClients, objects, objSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Connect attaches client host i to the server with the given RPC system.
+func (c *Cluster) Connect(kind Kind, i int) Client {
+	return rpc.New(kind, c.Clients[i], c.Engine, c.Params.RPC)
+}
+
+// Go spawns a simulated proc (a client driver, a background load, ...).
+func (c *Cluster) Go(name string, fn func(p *Proc)) { c.K.Go(name, fn) }
+
+// Run executes the simulation until no events remain.
+func (c *Cluster) Run() { c.K.Run() }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() Time { return c.K.Now() }

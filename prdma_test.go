@@ -1,0 +1,194 @@
+package prdma_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"prdma"
+)
+
+func TestClusterQuickstartFlow(t *testing.T) {
+	c, err := prdma.NewCluster(prdma.DefaultParams(), 1, 128, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := c.Connect(prdma.WFlushRPC, 0)
+	payload := bytes.Repeat([]byte{7}, 1024)
+	var durable, done prdma.Time
+	c.Go("app", func(p *prdma.Proc) {
+		r, err := client.Call(p, &prdma.Request{Op: prdma.OpWrite, Key: 1, Size: 1024, Payload: payload})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		durable = r.DurableAt
+		done = r.Done.Wait(p)
+		rd, err := client.Call(p, &prdma.Request{Op: prdma.OpRead, Key: 1, Size: 1024, Payload: []byte{}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(rd.Data, payload) {
+			t.Error("read-back mismatch")
+		}
+	})
+	c.Run()
+	if durable == 0 || done < durable {
+		t.Fatalf("durable=%v done=%v", durable, done)
+	}
+}
+
+func TestClusterMultiClient(t *testing.T) {
+	c, err := prdma.NewCluster(prdma.DefaultParams(), 3, 64, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneOps := 0
+	for i := 0; i < 3; i++ {
+		client := c.Connect(prdma.FaRM, i)
+		c.Go("app", func(p *prdma.Proc) {
+			for j := 0; j < 10; j++ {
+				if _, err := client.Call(p, &prdma.Request{Op: prdma.OpWrite, Key: uint64(j), Size: 256}); err != nil {
+					t.Error(err)
+					return
+				}
+				doneOps++
+			}
+		})
+	}
+	c.Run()
+	if doneOps != 30 {
+		t.Fatalf("completed %d of 30", doneOps)
+	}
+}
+
+func TestKVAndYCSBThroughFacade(t *testing.T) {
+	c, err := prdma.NewCluster(prdma.DefaultParams(), 1, 500, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := c.OpenKV(c.Connect(prdma.SFlushRPC, 0), 0, 500, 1024)
+	cfg := prdma.DefaultYCSBConfig()
+	cfg.Records = 500
+	cfg.ValueSize = 1024
+	gen := prdma.NewYCSB(prdma.YCSBA, cfg)
+	var res prdma.KVResult
+	c.Go("ycsb", func(p *prdma.Proc) {
+		var err error
+		res, err = kv.Run(p, gen.Next, 200)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	if res.Ops != 200 || res.Latency.Mean() <= 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestGraphThroughFacade(t *testing.T) {
+	g := prdma.GenerateGraph(prdma.GraphDataset{Name: "t", Nodes: 200, Edges: 800}, 1)
+	if g.Nodes() != 200 || g.EdgeCount() != 800 {
+		t.Fatal("graph sizes wrong")
+	}
+	c, _ := prdma.NewCluster(prdma.DefaultParams(), 1, 16, 4096)
+	pr := &prdma.PageRank{G: g, Client: c.Connect(prdma.WRFlushRPC, 0), Iterations: 2}
+	c.Go("pr", func(p *prdma.Proc) {
+		if err := pr.Run(p, c.Clients[0]); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	if len(pr.Ranks) != 200 {
+		t.Fatal("no ranks computed")
+	}
+}
+
+func TestFailureThroughFacade(t *testing.T) {
+	p := prdma.DefaultParams()
+	p.RPC.ProcessingTime = 10 * time.Microsecond
+	c, _ := prdma.NewCluster(p, 1, 128, 1024)
+	client := c.Connect(prdma.WFlushRPC, 0).(prdma.Recoverable)
+	fp := prdma.FailureParams{
+		Restart: 2 * time.Millisecond, Retransfer: time.Millisecond,
+		Crashes: 2, OpsPerWindow: 60, Pipeline: 4,
+	}
+	d := c.NewFailureDriver(client, fp)
+	payload := make([]byte, 1024)
+	var m prdma.FailureMeasurement
+	c.Go("driver", func(pp *prdma.Proc) {
+		m = d.Run(pp, func(i int) *prdma.Request {
+			return &prdma.Request{Op: prdma.OpWrite, Key: uint64(i % 64), Size: 1024, Payload: payload}
+		})
+	})
+	c.Run()
+	if m.Crashes != 2 || m.Replayed == 0 {
+		t.Fatalf("measurement: %+v", m)
+	}
+}
+
+func TestDeterministicClusters(t *testing.T) {
+	run := func() prdma.Time {
+		c, _ := prdma.NewCluster(prdma.DefaultParams(), 1, 64, 512)
+		client := c.Connect(prdma.DaRPC, 0)
+		c.Go("app", func(p *prdma.Proc) {
+			for j := 0; j < 50; j++ {
+				if _, err := client.Call(p, &prdma.Request{Op: prdma.OpWrite, Key: uint64(j % 64), Size: 512}); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		c.Run()
+		return c.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestReplicaClusterThroughFacade(t *testing.T) {
+	p := prdma.DefaultParams()
+	rc, err := prdma.NewReplicaCluster(p, 3, 64, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := rc.ConnectReplicated(prdma.WFlushRPC, prdma.WaitQuorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Go("driver", func(pp *prdma.Proc) {
+		at, acked, err := client.Write(pp, &prdma.Request{Op: prdma.OpWrite, Key: 3, Size: 1024})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if at == 0 || acked < 2 {
+			t.Errorf("at=%v acked=%d", at, acked)
+		}
+	})
+	rc.Run()
+}
+
+func TestReplicaChainThroughFacade(t *testing.T) {
+	p := prdma.DefaultParams()
+	p.NIC.EmulateFlush = false
+	rc, err := prdma.NewReplicaCluster(p, 2, 16, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := rc.ConnectChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x42}, 512)
+	rc.Go("driver", func(pp *prdma.Proc) {
+		ch.Write(pp, 4096, 512, payload)
+		for i, s := range rc.Servers {
+			if !bytes.Equal(s.PM.ReadBytes(4096, 512), payload) {
+				t.Errorf("replica %d missing data at chain ACK", i)
+			}
+		}
+	})
+	rc.Run()
+}

@@ -1,0 +1,168 @@
+package prdma
+
+import (
+	"fmt"
+
+	"prdma/internal/fabric"
+	"prdma/internal/failure"
+	"prdma/internal/graph"
+	"prdma/internal/host"
+	"prdma/internal/kv"
+	"prdma/internal/replicate"
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+	"prdma/internal/stats"
+	"prdma/internal/ycsb"
+)
+
+// Workload-layer re-exports: the KV store, YCSB generators, graphs and the
+// failure driver, so applications need only this package.
+type (
+	// KV is a client handle to the remote key-value store.
+	KV = kv.Store
+	// KVResult summarizes a KV workload run.
+	KVResult = kv.RunResult
+	// YCSBWorkload names one of the YCSB core workloads A–F.
+	YCSBWorkload = ycsb.Workload
+	// YCSBConfig shapes a YCSB run.
+	YCSBConfig = ycsb.Config
+	// YCSBGenerator produces a YCSB operation stream.
+	YCSBGenerator = ycsb.Generator
+	// Mix generates an arbitrary read/write mix over zipfian keys.
+	Mix = ycsb.Mix
+	// Graph is a CSR graph for the PageRank macro-benchmark.
+	Graph = graph.Graph
+	// GraphDataset describes one of the paper's graphs.
+	GraphDataset = graph.Dataset
+	// PageRank runs the §5.3 computation against a remote graph store.
+	PageRank = graph.PageRank
+	// FailureParams configures the §5.4 failure experiment.
+	FailureParams = failure.Params
+	// FailureDriver injects crashes and measures recovery.
+	FailureDriver = failure.Driver
+	// FailureMeasurement is a failure run's outcome.
+	FailureMeasurement = failure.Measurement
+	// Latency records samples and reports percentiles.
+	Latency = stats.Latency
+	// Throughput is an ops-over-time measurement.
+	Throughput = stats.Throughput
+)
+
+// The YCSB core workloads.
+const (
+	YCSBA = ycsb.A
+	YCSBB = ycsb.B
+	YCSBC = ycsb.C
+	YCSBD = ycsb.D
+	YCSBE = ycsb.E
+	YCSBF = ycsb.F
+)
+
+// YCSBWorkloads lists A–F in order.
+var YCSBWorkloads = ycsb.Workloads
+
+// The paper's graph datasets (§5.1).
+var (
+	WordAssociation = graph.WordAssociation
+	Enron           = graph.Enron
+	DBLP            = graph.DBLP
+	GraphDatasets   = graph.Datasets
+)
+
+// DefaultYCSBConfig returns the paper's YCSB parameters (50 K records,
+// 4 KB values, 0.99 zipfian skew).
+func DefaultYCSBConfig() YCSBConfig { return ycsb.DefaultConfig() }
+
+// NewYCSB builds a generator for workload w.
+func NewYCSB(w YCSBWorkload, cfg YCSBConfig) *YCSBGenerator { return ycsb.NewGenerator(w, cfg) }
+
+// NewMix builds a read/write mix generator (readFrac in [0,1]) over n keys.
+func NewMix(readFrac float64, n int64, size int, seed uint64) *Mix {
+	return ycsb.NewMix(readFrac, n, size, seed)
+}
+
+// GenerateGraph builds a deterministic power-law graph at ds's size.
+func GenerateGraph(ds GraphDataset, seed uint64) *Graph { return graph.Generate(ds, seed) }
+
+// OpenKV wraps client (connected from client host i) as a KV store with
+// `preload` pre-existing keys of valueSize bytes.
+func (c *Cluster) OpenKV(client Client, i, preload, valueSize int) *KV {
+	return kv.Open(client, c.Clients[i], preload, valueSize)
+}
+
+// DefaultFailureParams returns the paper's failure-experiment constants
+// (300 ms unikernel restart, 100 ms RDMA re-transfer interval).
+func DefaultFailureParams() FailureParams { return failure.DefaultParams() }
+
+// Replication-layer re-exports (§4.5 extension).
+type (
+	// ReplicatedClient fans durable writes out to several replica servers.
+	ReplicatedClient = replicate.Client
+	// ReplicaChain is HyperLoop-style NIC-offloaded chain replication.
+	ReplicaChain = replicate.Chain
+	// ReplicaPolicy selects the write-completion rule.
+	ReplicaPolicy = replicate.Policy
+)
+
+// Replica write-completion policies.
+const (
+	WaitAll    = replicate.WaitAll
+	WaitQuorum = replicate.WaitQuorum
+)
+
+// ReplicaCluster is a testbed with one client host and R replica servers,
+// each with its own store and worker pool.
+type ReplicaCluster struct {
+	K       *sim.Kernel
+	Net     *fabric.Network
+	Client  *host.Host
+	Servers []*host.Host
+	Engines []*rpc.Server
+	Params  Params
+}
+
+// NewReplicaCluster builds the multi-server testbed of the §4.5 extension.
+func NewReplicaCluster(p Params, replicas, objects, objSize int) (*ReplicaCluster, error) {
+	k := sim.New()
+	net := fabric.New(k, p.Net, p.Seed)
+	rc := &ReplicaCluster{K: k, Net: net, Params: p}
+	rc.Client = host.New(k, "client-0", net, p.Host, p.PM, p.NIC)
+	for i := 0; i < replicas; i++ {
+		srv := host.New(k, fmt.Sprintf("replica-%d", i), net, p.Host, p.PM, p.NIC)
+		store, err := rpc.NewStore(srv, objects, objSize)
+		if err != nil {
+			return nil, err
+		}
+		rc.Servers = append(rc.Servers, srv)
+		rc.Engines = append(rc.Engines, rpc.NewServer(srv, store, p.RPC))
+	}
+	return rc, nil
+}
+
+// ConnectReplicated builds a replicated durable-RPC client of the given
+// kind over every replica.
+func (rc *ReplicaCluster) ConnectReplicated(kind Kind, policy ReplicaPolicy) (*ReplicatedClient, error) {
+	var clients []Client
+	for _, e := range rc.Engines {
+		clients = append(clients, rpc.New(kind, rc.Client, e, rc.Params.RPC))
+	}
+	return replicate.New(rc.K, policy, clients)
+}
+
+// ConnectChain builds the NIC-offloaded replica chain (requires native
+// Flush primitives: set Params.NIC.EmulateFlush = false).
+func (rc *ReplicaCluster) ConnectChain() (*ReplicaChain, error) {
+	return replicate.NewChain(rc.Client, rc.Servers)
+}
+
+// Go spawns a simulated proc on the replica cluster.
+func (rc *ReplicaCluster) Go(name string, fn func(p *Proc)) { rc.K.Go(name, fn) }
+
+// Run executes the simulation until no events remain.
+func (rc *ReplicaCluster) Run() { rc.K.Run() }
+
+// NewFailureDriver wires a crash-injection driver around an established
+// Recoverable connection on this cluster.
+func (c *Cluster) NewFailureDriver(client Recoverable, p FailureParams) *FailureDriver {
+	return failure.NewDriver(c.K, c.Server, c.Engine, client, p)
+}
