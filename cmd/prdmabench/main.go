@@ -9,12 +9,19 @@
 //	prdmabench -ablation all   # design-choice ablations
 //	prdmabench -all            # everything
 //	prdmabench -all -scale full    # the paper's exact workload sizes
+//	prdmabench -all -parallel 1    # force sequential cells (default: one worker per CPU)
+//	prdmabench -fig 8 -cpuprofile cpu.pprof   # profile the harness itself
+//
+// Experiment cells are independent deployments, so drivers fan them across
+// a worker pool (-parallel). Output is byte-identical at any setting; only
+// wall time changes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"prdma/internal/bench"
@@ -29,7 +36,22 @@ func main() {
 	ops := flag.Int("ops", 0, "override operations per configuration")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	parallel := flag.Int("parallel", -1, "concurrent experiment cells per figure (1 = sequential, -1 = one per CPU); tables are identical at any setting")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var o bench.Options
 	switch *scale {
@@ -47,6 +69,7 @@ func main() {
 		o.Ops = *ops
 	}
 	o.Seed = *seed
+	o.Parallel = *parallel
 
 	run := func(name string, fn func() []bench.Table) {
 		start := time.Now()

@@ -15,10 +15,21 @@ func (o Options) AblationNativeFlush() Table {
 		Header: []string{"rpc", "emulated", "native", "native gain"},
 		Notes:  "the paper measures the emulation; native WFlush saves the read round; native SFlush serializes its address lookup at the NIC (two DMAs, Fig. 5), so it roughly matches the emulation",
 	}
-	for _, kind := range []rpc.Kind{rpc.WFlushRPC, rpc.SFlushRPC} {
-		for _, size := range []int{1024, 65536} {
-			em := o.micro(kind, o.deploy(size), o.Ops, 0.0)
-			nat := o.micro(kind, o.deploy(size, nativeFlush), o.Ops, 0.0)
+	kinds := []rpc.Kind{rpc.WFlushRPC, rpc.SFlushRPC}
+	sizes := []int{1024, 65536}
+	// Cell layout: (kind, size, emulated|native), flattened.
+	cells := mapCells(o.runner(), len(kinds)*len(sizes)*2, func(i int) microResult {
+		kind := kinds[i/(len(sizes)*2)]
+		size := sizes[i/2%len(sizes)]
+		if i%2 == 0 {
+			return o.micro(kind, o.deploy(size), o.Ops, 0.0)
+		}
+		return o.micro(kind, o.deploy(size, nativeFlush), o.Ops, 0.0)
+	})
+	for ki, kind := range kinds {
+		for si, size := range sizes {
+			em := cells[(ki*len(sizes)+si)*2]
+			nat := cells[(ki*len(sizes)+si)*2+1]
 			gain := 1 - float64(nat.Lat.Mean())/float64(em.Lat.Mean())
 			t.Rows = append(t.Rows, []string{
 				kind.String() + "/" + sizeLabel(size),
@@ -39,9 +50,16 @@ func (o Options) AblationDDIO() Table {
 		Header: []string{"rpc", "ddio-off", "ddio-on", "penalty"},
 		Notes:  "DDIO forces a CPU clflush onto W-RFlush's persist path; WFlush rides the non-cacheable bypass",
 	}
-	for _, kind := range []rpc.Kind{rpc.WFlushRPC, rpc.WRFlushRPC, rpc.FaRM} {
-		off := o.micro(kind, o.deploy(4096), o.Ops, 0.0)
-		on := o.micro(kind, o.deploy(4096, withDDIO), o.Ops, 0.0)
+	kinds := []rpc.Kind{rpc.WFlushRPC, rpc.WRFlushRPC, rpc.FaRM}
+	cells := mapCells(o.runner(), len(kinds)*2, func(i int) microResult {
+		kind := kinds[i/2]
+		if i%2 == 0 {
+			return o.micro(kind, o.deploy(4096), o.Ops, 0.0)
+		}
+		return o.micro(kind, o.deploy(4096, withDDIO), o.Ops, 0.0)
+	})
+	for ki, kind := range kinds {
+		off, on := cells[ki*2], cells[ki*2+1]
 		t.Rows = append(t.Rows, []string{
 			kind.String(), fmtUS(off.Lat.Mean()), fmtUS(on.Lat.Mean()),
 			fmt.Sprintf("%.2fx", ratio(on.Lat.Mean(), off.Lat.Mean())),
@@ -58,9 +76,16 @@ func (o Options) AblationWorkers() Table {
 		Header: []string{"workers", "WFlush-RPC", "FaRM"},
 		Notes:  "durable RPC throughput scales with workers until the persist path saturates; FaRM is client-bound",
 	}
-	for _, w := range []int{1, 2, 4, 8} {
-		wf := o.micro(rpc.WFlushRPC, o.deploy(1024, heavyLoad, workers(w)), o.Ops, 0.0)
-		fm := o.micro(rpc.FaRM, o.deploy(1024, heavyLoad, workers(w)), o.Ops, 0.0)
+	counts := []int{1, 2, 4, 8}
+	cells := mapCells(o.runner(), len(counts)*2, func(i int) microResult {
+		w := counts[i/2]
+		if i%2 == 0 {
+			return o.micro(rpc.WFlushRPC, o.deploy(1024, heavyLoad, workers(w)), o.Ops, 0.0)
+		}
+		return o.micro(rpc.FaRM, o.deploy(1024, heavyLoad, workers(w)), o.Ops, 0.0)
+	})
+	for wi, w := range counts {
+		wf, fm := cells[wi*2], cells[wi*2+1]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", w),
 			fmt.Sprintf("%.1f", wf.KOPS()),
@@ -77,8 +102,12 @@ func (o Options) AblationThrottle() Table {
 		Header: []string{"threshold", "KOPS", "p99 (us)"},
 		Notes:  "too-low thresholds stall the sender; high thresholds trade memory for throughput",
 	}
-	for _, th := range []int{2, 8, 32, 128, 512} {
-		m := o.micro(rpc.WFlushRPC, o.deploy(1024, heavyLoad, workers(4), throttle(th)), o.Ops, 0.0)
+	thresholds := []int{2, 8, 32, 128, 512}
+	cells := mapCells(o.runner(), len(thresholds), func(i int) microResult {
+		return o.micro(rpc.WFlushRPC, o.deploy(1024, heavyLoad, workers(4), throttle(thresholds[i])), o.Ops, 0.0)
+	})
+	for ti, th := range thresholds {
+		m := cells[ti]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", th),
 			fmt.Sprintf("%.1f", m.KOPS()),

@@ -39,6 +39,12 @@ type Options struct {
 	// EmulateFlush selects the paper's measured emulation (default) or
 	// the native primitives.
 	EmulateFlush bool
+	// Parallel is the number of experiment cells run concurrently by each
+	// figure driver: 0 or 1 runs strictly sequentially, a negative value
+	// uses one worker per available CPU. Each cell builds its own
+	// sim.Kernel, so results are identical at any setting; only wall time
+	// changes (see internal/bench/runner.go).
+	Parallel int
 }
 
 // Quick returns options sized for unit tests and smoke runs.
@@ -172,7 +178,10 @@ func (m microResult) KOPS() float64 {
 func (o Options) micro(kind rpc.Kind, d *deployment, ops int, readFrac float64) microResult {
 	c := d.build()
 	lat := stats.NewLatency(ops)
-	var start, end sim.Time
+	// The workload starts at virtual time zero: build() performs no
+	// simulated work and every driver proc spawns at Time 0, so the
+	// joiner's finish time is also the elapsed workload duration.
+	var end sim.Time
 	wg := sim.NewWaitGroup(c.k)
 	per := ops / d.senders
 	if per == 0 {
@@ -211,7 +220,7 @@ func (o Options) micro(kind rpc.Kind, d *deployment, ops int, readFrac float64) 
 		cliSW += h.SWTime
 	}
 	return microResult{
-		Kind: kind, Lat: lat, Elapsed: end.Sub(start), Ops: total,
+		Kind: kind, Lat: lat, Elapsed: end.Duration(), Ops: total,
 		SenderSW:   cliSW / time.Duration(total),
 		ReceiverSW: c.server.SWTime / time.Duration(total),
 	}

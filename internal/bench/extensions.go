@@ -20,15 +20,16 @@ func (o Options) Fig7CaseStudy() Table {
 		Notes:  "Octopus+WFlush guarantees persistence with no receiver CPU on the path: cheaper for large objects (DMA vs clwb persist), one extra read round for small ones",
 	}
 	sizes := []int{1024, 4096, 65536}
-	for _, durable := range []bool{false, true} {
+	variants := []bool{false, true}
+	cells := mapCells(o.runner(), len(variants)*len(sizes), func(i int) string {
+		return fmtUS(o.octopusCase(variants[i/len(sizes)], sizes[i%len(sizes)]))
+	})
+	for vi, durable := range variants {
 		label := "Octopus"
 		if durable {
 			label = "Octopus+WFlush"
 		}
-		row := []string{label}
-		for _, size := range sizes {
-			row = append(row, fmtUS(o.octopusCase(durable, size)))
-		}
+		row := append([]string{label}, cells[vi*len(sizes):(vi+1)*len(sizes)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t
@@ -81,19 +82,22 @@ func (o Options) Replication() Table {
 		{"all, 1 straggler", replicate.WaitAll, true},
 		{"quorum, 1 straggler", replicate.WaitQuorum, true},
 	}
-	for _, cse := range cases {
-		row := []string{cse.label}
-		for _, r := range []int{1, 2, 3, 5} {
-			row = append(row, fmtUS(o.replicatedWrite(cse.policy, r, cse.straggle)))
+	factors := []int{1, 2, 3, 5}
+	// The last case row is the HyperLoop-style NIC-offloaded chain (native
+	// primitives): hops serialize, but no client fan-out and zero replica
+	// CPU. It shares the cell matrix: (case..., chain) x factors.
+	cells := mapCells(o.runner(), (len(cases)+1)*len(factors), func(i int) string {
+		ci, r := i/len(factors), factors[i%len(factors)]
+		if ci == len(cases) {
+			return fmtUS(o.chainWrite(r))
 		}
+		return fmtUS(o.replicatedWrite(cases[ci].policy, r, cases[ci].straggle))
+	})
+	for ci, cse := range cases {
+		row := append([]string{cse.label}, cells[ci*len(factors):(ci+1)*len(factors)]...)
 		t.Rows = append(t.Rows, row)
 	}
-	// The HyperLoop-style NIC-offloaded chain (native primitives): hops
-	// serialize, but no client fan-out and zero replica CPU.
-	row := []string{"chain (NIC offload)"}
-	for _, r := range []int{1, 2, 3, 5} {
-		row = append(row, fmtUS(o.chainWrite(r)))
-	}
+	row := append([]string{"chain (NIC offload)"}, cells[len(cases)*len(factors):]...)
 	t.Rows = append(t.Rows, row)
 	return t
 }
@@ -190,18 +194,23 @@ func (o Options) Table1Extras() Table {
 		Header: []string{"system", "1KB", "4KB"},
 		Notes:  "Hotpot pays two commit round trips; Mojim pays a mirroring hop; SFlush-RPC acknowledges at NIC persistence",
 	}
-	for _, kind := range []rpc.Kind{rpc.DaRPC, rpc.Hotpot, rpc.SFlushRPC} {
-		row := []string{kind.String()}
-		for _, size := range []int{1024, 4096} {
-			m := o.micro(kind, o.deploy(size), o.Ops/4, 0.0)
-			row = append(row, fmtUS(m.Lat.Mean()))
+	kinds := []rpc.Kind{rpc.DaRPC, rpc.Hotpot, rpc.SFlushRPC}
+	sizes := []int{1024, 4096}
+	// Cell matrix: (kinds..., Mojim) x sizes; Mojim needs its own two-server
+	// topology, so it is measured by mojimWrite instead of micro.
+	cells := mapCells(o.runner(), (len(kinds)+1)*len(sizes), func(i int) string {
+		ki, size := i/len(sizes), sizes[i%len(sizes)]
+		if ki == len(kinds) {
+			return fmtUS(o.mojimWrite(size))
 		}
+		m := o.micro(kinds[ki], o.deploy(size), o.Ops/4, 0.0)
+		return fmtUS(m.Lat.Mean())
+	})
+	for ki, kind := range kinds {
+		row := append([]string{kind.String()}, cells[ki*len(sizes):(ki+1)*len(sizes)]...)
 		t.Rows = append(t.Rows, row)
 	}
-	row := []string{"Mojim"}
-	for _, size := range []int{1024, 4096} {
-		row = append(row, fmtUS(o.mojimWrite(size)))
-	}
+	row := append([]string{"Mojim"}, cells[len(kinds)*len(sizes):]...)
 	t.Rows = append(t.Rows, row)
 	return t
 }

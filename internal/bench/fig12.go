@@ -25,25 +25,29 @@ func (o Options) Fig12() Table {
 		Notes:  "expect: <1 everywhere; lower with more writes; lower at lower availability",
 	}
 	mixes := []float64{1.0, 0.5, 0.0} // read fractions
+	// W-RFlush is the durable representative: the paper recommends
+	// receiver-initiated flushes under load (§5.7), and the emulated
+	// WFlush's read-after-write probe serializes behind the DMA
+	// backlog when requests are pipelined.
+	//
+	// Pipelining semantics: early persistence visibility is what
+	// LICENSES pipelining mutations ("the sender can issue other RPC
+	// requests without waiting for the completion event", §4.2) — a
+	// traditional client must serialize dependent writes because it
+	// cannot tell when they are safe. Reads are safe to overlap for
+	// everyone. Baseline effective overlap: reads overlap freely;
+	// writes serialize; a mix lands in between.
+	cells := mapCells(o.runner(), len(mixes)*2, func(i int) failure.Measurement {
+		rf := mixes[i/2]
+		if i%2 == 0 {
+			return o.failureRun(rpc.WRFlushRPC, rf, 8)
+		}
+		return o.failureRun(rpc.FaRM, rf, 1+int(rf*7))
+	})
 	durable := make([]failure.Measurement, len(mixes))
 	baseline := make([]failure.Measurement, len(mixes))
-	for i, rf := range mixes {
-		// W-RFlush is the durable representative: the paper recommends
-		// receiver-initiated flushes under load (§5.7), and the emulated
-		// WFlush's read-after-write probe serializes behind the DMA
-		// backlog when requests are pipelined.
-		//
-		// Pipelining semantics: early persistence visibility is what
-		// LICENSES pipelining mutations ("the sender can issue other RPC
-		// requests without waiting for the completion event", §4.2) — a
-		// traditional client must serialize dependent writes because it
-		// cannot tell when they are safe. Reads are safe to overlap for
-		// everyone.
-		durable[i] = o.failureRun(rpc.WRFlushRPC, rf, 8)
-		// Baseline effective overlap: reads overlap freely; writes
-		// serialize; a mix lands in between.
-		basePipe := 1 + int(rf*7)
-		baseline[i] = o.failureRun(rpc.FaRM, rf, basePipe)
+	for i := range mixes {
+		durable[i], baseline[i] = cells[i*2], cells[i*2+1]
 	}
 	const ops = int64(1e9)
 	restart := 300 * time.Millisecond

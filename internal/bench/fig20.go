@@ -24,12 +24,22 @@ func (o Options) Fig20() Table {
 		Notes:  "expect: RTT dominates; DaRPC RTT ~2x FaRM's; durable RPCs' software share <~7%",
 	}
 	size := 4096
+	var kinds []rpc.Kind
 	for _, kind := range rpc.Kinds {
 		if skip(kind, size) {
 			continue
 		}
-		normal := o.micro(kind, o.deploy(size), o.Ops, 0.5)
-		zeroed := o.micro(kind, o.deploy(size, zeroServerSW), o.Ops, 0.5)
+		kinds = append(kinds, kind)
+	}
+	cells := mapCells(o.runner(), len(kinds)*2, func(i int) microResult {
+		kind := kinds[i/2]
+		if i%2 == 0 {
+			return o.micro(kind, o.deploy(size), o.Ops, 0.5)
+		}
+		return o.micro(kind, o.deploy(size, zeroServerSW), o.Ops, 0.5)
+	})
+	for ki, kind := range kinds {
+		normal, zeroed := cells[ki*2], cells[ki*2+1]
 		mean := normal.Lat.Mean()
 		recvSW := mean - zeroed.Lat.Mean()
 		if recvSW < 0 {

@@ -28,14 +28,20 @@ func (o Options) Fig10() Table {
 		scaled := graph.Dataset{Name: ds.Name, Nodes: ds.Nodes / scale, Edges: ds.Edges / scale}
 		graphs[i] = graph.Generate(scaled, o.Seed)
 	}
+	var kinds []rpc.Kind
 	for _, kind := range rpc.Kinds {
 		if kind == rpc.FaSST {
 			continue // adjacency chunks exceed the UD MTU on big vertices
 		}
-		row := []string{kind.String()}
-		for _, g := range graphs {
-			row = append(row, fmt.Sprintf("%.3f", o.pageRankTime(kind, g)))
-		}
+		kinds = append(kinds, kind)
+	}
+	// The generated graphs are shared across cells but only read: each cell
+	// builds its own PageRank state over its own deployment.
+	cells := mapCells(o.runner(), len(kinds)*len(graphs), func(i int) string {
+		return fmt.Sprintf("%.3f", o.pageRankTime(kinds[i/len(graphs)], graphs[i%len(graphs)]))
+	})
+	for ki, kind := range kinds {
+		row := append([]string{kind.String()}, cells[ki*len(graphs):(ki+1)*len(graphs)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t
@@ -67,14 +73,18 @@ func (o Options) Fig11() Table {
 		Header: []string{"rpc", "A", "B", "C", "D", "E", "F"},
 		Notes:  "expect: durable RPCs up to -50% on write-heavy A/E(inserts)/F; parity on read-heavy B/C/D",
 	}
+	var kinds []rpc.Kind
 	for _, kind := range rpc.Kinds {
 		if skip(kind, 4096) {
 			continue
 		}
-		row := []string{kind.String()}
-		for _, w := range ycsb.Workloads {
-			row = append(row, fmtUS(o.ycsbLatency(kind, w)))
-		}
+		kinds = append(kinds, kind)
+	}
+	cells := mapCells(o.runner(), len(kinds)*len(ycsb.Workloads), func(i int) string {
+		return fmtUS(o.ycsbLatency(kinds[i/len(ycsb.Workloads)], ycsb.Workloads[i%len(ycsb.Workloads)]))
+	})
+	for ki, kind := range kinds {
+		row := append([]string{kind.String()}, cells[ki*len(ycsb.Workloads):(ki+1)*len(ycsb.Workloads)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t

@@ -15,6 +15,7 @@ var fig8Sizes = []int{32, 1024, 65536}
 // Fig8 reproduces Fig. 8: micro-benchmark throughput (KOPS) of every RPC
 // under heavy (100 µs processing) and light load, 1:1 read/write, zipfian.
 func (o Options) Fig8() []Table {
+	r := o.runner()
 	var out []Table
 	for _, heavy := range []bool{true, false} {
 		title := "Fig 8(b): throughput, light load (KOPS)"
@@ -25,17 +26,18 @@ func (o Options) Fig8() []Table {
 			tweaks = append(tweaks, heavyLoad)
 			notes = "expect: durable RPCs best everywhere; +58-85% (write kinds), +43-69% (send kinds)"
 		}
-		t := Table{Title: title, Header: []string{"rpc", "32B", "1KB", "64KB"}, Notes: notes}
-		for _, kind := range rpc.Kinds {
-			row := []string{kind.String()}
-			for _, size := range fig8Sizes {
-				if skip(kind, size) {
-					row = append(row, "-")
-					continue
-				}
-				m := o.micro(kind, o.deploy(size, tweaks...), o.Ops, 0.5)
-				row = append(row, fmt.Sprintf("%.1f", m.KOPS()))
+		cells := mapCells(r, len(rpc.Kinds)*len(fig8Sizes), func(i int) string {
+			kind := rpc.Kinds[i/len(fig8Sizes)]
+			size := fig8Sizes[i%len(fig8Sizes)]
+			if skip(kind, size) {
+				return "-"
 			}
+			m := o.micro(kind, o.deploy(size, tweaks...), o.Ops, 0.5)
+			return fmt.Sprintf("%.1f", m.KOPS())
+		})
+		t := Table{Title: title, Header: []string{"rpc", "32B", "1KB", "64KB"}, Notes: notes}
+		for ki, kind := range rpc.Kinds {
+			row := append([]string{kind.String()}, cells[ki*len(fig8Sizes):(ki+1)*len(fig8Sizes)]...)
 			t.Rows = append(t.Rows, row)
 		}
 		out = append(out, t)
@@ -46,18 +48,27 @@ func (o Options) Fig8() []Table {
 // Fig9 reproduces Fig. 9: 95th/99th percentile and average latency for 1 KB
 // and 64 KB objects.
 func (o Options) Fig9() []Table {
+	r := o.runner()
 	var out []Table
 	for _, size := range []int{1024, 65536} {
+		cells := mapCells(r, len(rpc.Kinds), func(i int) *microResult {
+			kind := rpc.Kinds[i]
+			if skip(kind, size) {
+				return nil
+			}
+			m := o.micro(kind, o.deploy(size), o.Ops, 0.5)
+			return &m
+		})
 		t := Table{
 			Title:  fmt.Sprintf("Fig 9: latency, %s objects (us)", sizeLabel(size)),
 			Header: []string{"rpc", "95th", "99th", "avg"},
 			Notes:  "expect: W-RFlush/WFlush cut P99 ~49% (1KB) / ~24% (64KB) vs write-based RPCs; ~10% vs DaRPC for send-based",
 		}
-		for _, kind := range rpc.Kinds {
-			if skip(kind, size) {
+		for i, kind := range rpc.Kinds {
+			m := cells[i]
+			if m == nil {
 				continue
 			}
-			m := o.micro(kind, o.deploy(size), o.Ops, 0.5)
 			t.Rows = append(t.Rows, []string{
 				kind.String(),
 				fmtUS(m.Lat.Percentile(95)),
@@ -78,16 +89,17 @@ func (o Options) Fig13() Table {
 		Header: []string{"rpc", "64B", "256B", "1KB", "4KB", "16KB"},
 		Notes:  "expect: flat to 4KB, then steep growth; send-based RPCs most size-sensitive",
 	}
-	for _, kind := range rpc.Kinds {
-		row := []string{kind.String()}
-		for _, size := range sizes {
-			if skip(kind, size) {
-				row = append(row, "-")
-				continue
-			}
-			m := o.micro(kind, o.deploy(size), o.Ops, 0.5)
-			row = append(row, fmtUS(m.Lat.Mean()))
+	cells := mapCells(o.runner(), len(rpc.Kinds)*len(sizes), func(i int) string {
+		kind := rpc.Kinds[i/len(sizes)]
+		size := sizes[i%len(sizes)]
+		if skip(kind, size) {
+			return "-"
 		}
+		m := o.micro(kind, o.deploy(size), o.Ops, 0.5)
+		return fmtUS(m.Lat.Mean())
+	})
+	for ki, kind := range rpc.Kinds {
+		row := append([]string{kind.String()}, cells[ki*len(sizes):(ki+1)*len(sizes)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t
@@ -120,16 +132,29 @@ func (o Options) Fig16() Table {
 	)
 }
 
-// loadFigure runs the idle/busy comparison shared by Figs. 14-16.
+// loadFigure runs the idle/busy comparison shared by Figs. 14-16. Each
+// (kind, load) pair is one runner cell.
 func (o Options) loadFigure(title, notes string, busy tweak) Table {
 	t := Table{Title: title, Header: []string{"rpc", "idle", "busy", "slowdown"}, Notes: notes}
 	size := 4096
-	for _, kind := range rpc.Kinds {
+	cells := mapCells(o.runner(), len(rpc.Kinds)*2, func(i int) *microResult {
+		kind := rpc.Kinds[i/2]
 		if skip(kind, size) {
+			return nil
+		}
+		var m microResult
+		if i%2 == 0 {
+			m = o.micro(kind, o.deploy(size), o.Ops, 0.5)
+		} else {
+			m = o.micro(kind, o.deploy(size, busy), o.Ops, 0.5)
+		}
+		return &m
+	})
+	for ki, kind := range rpc.Kinds {
+		idle, loaded := cells[ki*2], cells[ki*2+1]
+		if idle == nil {
 			continue
 		}
-		idle := o.micro(kind, o.deploy(size), o.Ops, 0.5)
-		loaded := o.micro(kind, o.deploy(size, busy), o.Ops, 0.5)
 		t.Rows = append(t.Rows, []string{
 			kind.String(),
 			fmtUS(idle.Lat.Mean()),
@@ -149,16 +174,21 @@ func (o Options) Fig17() Table {
 		Notes:  "expect: traditional RPC latency grows with senders; durable RPCs stay near-flat (less remote CPU on the persist path)",
 	}
 	size := 1024
-	for _, kind := range rpc.Kinds {
+	cells := mapCells(o.runner(), len(rpc.Kinds)*len(counts), func(i int) string {
+		kind := rpc.Kinds[i/len(counts)]
+		if skip(kind, size) {
+			return ""
+		}
+		n := counts[i%len(counts)]
+		d := o.deploy(size, withSenders(n), workers(4))
+		m := o.micro(kind, d, o.OpsPerSender*n, 0.5)
+		return fmtUS(m.Lat.Mean())
+	})
+	for ki, kind := range rpc.Kinds {
 		if skip(kind, size) {
 			continue
 		}
-		row := []string{kind.String()}
-		for _, n := range counts {
-			d := o.deploy(size, withSenders(n), workers(4))
-			m := o.micro(kind, d, o.OpsPerSender*n, 0.5)
-			row = append(row, fmtUS(m.Lat.Mean()))
-		}
+		row := append([]string{kind.String()}, cells[ki*len(counts):(ki+1)*len(counts)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t
@@ -176,15 +206,19 @@ func (o Options) Fig18() Table {
 		Notes:  "expect: durable RPCs shine on write-heavy mixes (persist-ack early return); parity on read-heavy",
 	}
 	size := 4096
-	for _, kind := range rpc.Kinds {
+	cells := mapCells(o.runner(), len(rpc.Kinds)*len(mixes), func(i int) string {
+		kind := rpc.Kinds[i/len(mixes)]
+		if skip(kind, size) {
+			return ""
+		}
+		m := o.micro(kind, o.deploy(size), o.Ops, mixes[i%len(mixes)].frac)
+		return fmtUS(m.Lat.Mean())
+	})
+	for ki, kind := range rpc.Kinds {
 		if skip(kind, size) {
 			continue
 		}
-		row := []string{kind.String()}
-		for _, mx := range mixes {
-			m := o.micro(kind, o.deploy(size), o.Ops, mx.frac)
-			row = append(row, fmtUS(m.Lat.Mean()))
-		}
+		row := append([]string{kind.String()}, cells[ki*len(mixes):(ki+1)*len(mixes)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t
@@ -201,12 +235,12 @@ func (o Options) Fig19() Table {
 		Notes:  "expect: batching helps write-based durable RPCs most; DaRPC gains little (send cost is size-sensitive)",
 	}
 	size := 1024
-	for _, kind := range kinds {
-		row := []string{kind.String()}
-		for _, bs := range batches {
-			elapsed := o.batchRun(kind, size, bs)
-			row = append(row, fmt.Sprintf("%.2f", elapsed.Seconds()*1e3))
-		}
+	cells := mapCells(o.runner(), len(kinds)*len(batches), func(i int) string {
+		elapsed := o.batchRun(kinds[i/len(batches)], size, batches[i%len(batches)])
+		return fmt.Sprintf("%.2f", elapsed.Seconds()*1e3)
+	})
+	for ki, kind := range kinds {
+		row := append([]string{kind.String()}, cells[ki*len(batches):(ki+1)*len(batches)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t

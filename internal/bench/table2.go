@@ -20,13 +20,31 @@ func (o Options) Table2() Table {
 		p99              time.Duration
 		scaleGrowth      float64
 	}
+	// Five independent runs per kind; each (kind, variant) pair is one
+	// runner cell.
+	const variants = 5
+	cells := mapCells(o.runner(), len(kinds)*variants, func(i int) microResult {
+		kind := kinds[i/variants]
+		switch i % variants {
+		case 0: // idle
+			return o.micro(kind, o.deploy(size), o.Ops, 0.5)
+		case 1: // busy network
+			return o.micro(kind, o.deploy(size, busyNetwork), o.Ops, 0.5)
+		case 2: // busy receiver CPU
+			return o.micro(kind, o.deploy(size, busyReceiver), o.Ops, 0.5)
+		case 3: // few senders
+			return o.micro(kind, o.deploy(size, withSenders(4), workers(4)), o.OpsPerSender*4, 0.5)
+		default: // many senders
+			return o.micro(kind, o.deploy(size, withSenders(16), workers(4)), o.OpsPerSender*16, 0.5)
+		}
+	})
 	measured := make([]sens, len(kinds))
-	for i, kind := range kinds {
-		idle := o.micro(kind, o.deploy(size), o.Ops, 0.5)
-		net := o.micro(kind, o.deploy(size, busyNetwork), o.Ops, 0.5)
-		cpu := o.micro(kind, o.deploy(size, busyReceiver), o.Ops, 0.5)
-		few := o.micro(kind, o.deploy(size, withSenders(4), workers(4)), o.OpsPerSender*4, 0.5)
-		many := o.micro(kind, o.deploy(size, withSenders(16), workers(4)), o.OpsPerSender*16, 0.5)
+	for i := range kinds {
+		idle := cells[i*variants]
+		net := cells[i*variants+1]
+		cpu := cells[i*variants+2]
+		few := cells[i*variants+3]
+		many := cells[i*variants+4]
 		measured[i] = sens{
 			netSlow:     ratio(net.Lat.Mean(), idle.Lat.Mean()),
 			cpuSlow:     ratio(cpu.Lat.Mean(), idle.Lat.Mean()),

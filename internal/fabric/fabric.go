@@ -145,7 +145,7 @@ func (e *Endpoint) Send(m *Message) sim.Time {
 	if !ok {
 		panic(fmt.Sprintf("fabric: send to unknown endpoint %q", m.To))
 	}
-	n.K.At(arrive, func() {
+	n.K.Schedule(arrive, func() {
 		if !dst.up || dst.handler == nil {
 			n.Dropped++
 			return

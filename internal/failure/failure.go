@@ -92,7 +92,7 @@ func (d *Driver) crash() {
 	d.serverUp = false
 	d.Server.Crash()
 	d.Engine.Crash()
-	d.K.After(d.P.Restart, func() {
+	d.K.AfterFunc(d.P.Restart, func() {
 		d.Server.Restart()
 		d.serverUp = true
 		d.generation++
@@ -165,7 +165,7 @@ func (d *Driver) Run(p *sim.Proc, gen func(i int) *rpc.Request) Measurement {
 		start := p.Now()
 		// Crash strikes while the window's requests are in flight.
 		half := d.P.OpsPerWindow / 2
-		d.K.After(time.Duration(half)*m.CleanPerOp, func() { d.crash() })
+		d.K.AfterFunc(time.Duration(half)*m.CleanPerOp, func() { d.crash() })
 		d.window(p, d.P.OpsPerWindow, (c+1)*d.P.OpsPerWindow, gen, &m)
 		m.Crashes++
 		window := p.Now().Sub(start)

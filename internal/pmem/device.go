@@ -189,7 +189,7 @@ func (d *Device) Persist(at sim.Time, addr int64, n int, data []byte, path Path)
 		frac := float64(i+1) / float64(chunks)
 		when := start.Add(time.Duration(float64(end.Sub(start)) * frac))
 		cAddr, cOff, cSz := addr+int64(off), off, sz
-		d.K.At(when, func() {
+		d.K.Schedule(when, func() {
 			if d.epoch != epoch {
 				return // lost in a crash
 			}

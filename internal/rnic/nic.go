@@ -191,7 +191,7 @@ func (n *NIC) Epoch() int { return n.epoch }
 func (n *NIC) post(dst string, m *wireMsg, wireSize int) {
 	done := n.tx.Reserve(n.Params.ProcPerWQE)
 	epoch := n.epoch
-	n.K.At(done, func() {
+	n.K.Schedule(done, func() {
 		if n.epoch != epoch {
 			return
 		}
@@ -203,7 +203,7 @@ func (n *NIC) post(dst string, m *wireMsg, wireSize int) {
 func (n *NIC) postAt(at sim.Time, dst string, m *wireMsg, wireSize int) {
 	done := n.tx.ReserveAt(at, n.Params.ProcPerWQE)
 	epoch := n.epoch
-	n.K.At(done, func() {
+	n.K.Schedule(done, func() {
 		if n.epoch != epoch {
 			return
 		}
@@ -221,7 +221,7 @@ func (n *NIC) handleWire(at sim.Time, fm *fabric.Message) {
 	}
 	done := n.rx.ReserveAt(at, cost)
 	epoch := n.epoch
-	n.K.At(done, func() {
+	n.K.Schedule(done, func() {
 		if n.epoch != epoch {
 			return
 		}
@@ -300,7 +300,7 @@ func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 					at = q.lastDurable
 				}
 				epoch := n.epoch
-				n.K.At(at, func() {
+				n.K.Schedule(at, func() {
 					if n.epoch == epoch {
 						n.flushAck(q, m.Seq)
 					}
@@ -321,7 +321,7 @@ func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 	epoch := n.epoch
 
 	deliver := func(at sim.Time, durable sim.Time) {
-		n.K.At(at, func() {
+		n.K.Schedule(at, func() {
 			if n.epoch != epoch {
 				return
 			}
@@ -337,7 +337,7 @@ func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 
 	switch {
 	case kind == MemDRAM:
-		n.K.At(pcieDone, func() {
+		n.K.Schedule(pcieDone, func() {
 			if n.epoch != epoch {
 				return
 			}
@@ -347,7 +347,7 @@ func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 	case n.Params.DDIO && !m.Flush:
 		// DDIO steers the DMA into the volatile LLC (§2.3): fast and
 		// CPU-visible, but not durable until a CPU clflush.
-		n.K.At(pcieDone, func() {
+		n.K.Schedule(pcieDone, func() {
 			if n.epoch != epoch {
 				return
 			}
@@ -387,7 +387,7 @@ func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 				if now := n.K.Now(); now > at {
 					at = now
 				}
-				n.K.At(at, func() {
+				n.K.Schedule(at, func() {
 					if n.epoch == epoch {
 						n.flushAck(q, m.Seq)
 					}
@@ -396,7 +396,7 @@ func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 			return
 		}
 		if m.Flush {
-			n.K.At(horizon, func() {
+			n.K.Schedule(horizon, func() {
 				if n.epoch != epoch {
 					return
 				}
@@ -419,7 +419,7 @@ func (n *NIC) inboundSend(q *QP, m *wireMsg) {
 					at = q.lastDurable
 				}
 				epoch := n.epoch
-				n.K.At(at, func() {
+				n.K.Schedule(at, func() {
 					if n.epoch == epoch {
 						n.flushAck(q, m.Seq)
 					}
@@ -450,7 +450,7 @@ func (n *NIC) placeSend(q *QP, m *wireMsg, buf RecvBuf) {
 	var visible, durable sim.Time
 	switch {
 	case kind == MemDRAM:
-		n.K.At(pcieDone, func() {
+		n.K.Schedule(pcieDone, func() {
 			if n.epoch != epoch {
 				return
 			}
@@ -479,7 +479,7 @@ func (n *NIC) placeSend(q *QP, m *wireMsg, buf RecvBuf) {
 			q.lastDurable = d
 		}
 		durable = q.lastDurable // horizon semantics: see inboundWrite
-		n.K.At(durable, func() {
+		n.K.Schedule(durable, func() {
 			if n.epoch != epoch {
 				return
 			}
@@ -491,7 +491,7 @@ func (n *NIC) placeSend(q *QP, m *wireMsg, buf RecvBuf) {
 	}
 
 	la := logAddr
-	n.K.At(visible, func() {
+	n.K.Schedule(visible, func() {
 		if n.epoch != epoch {
 			return
 		}
@@ -513,7 +513,7 @@ func (n *NIC) inboundRead(q *QP, m *wireMsg) {
 		start = now
 	}
 	epoch := n.epoch
-	n.K.At(start, func() {
+	n.K.Schedule(start, func() {
 		if n.epoch != epoch {
 			return
 		}
@@ -529,7 +529,7 @@ func (n *NIC) serveRead(q *QP, m *wireMsg) {
 	epoch := n.epoch
 	kind := n.mrKind(m.Addr)
 	respond := func(at sim.Time, fetch func() []byte) {
-		n.K.At(at, func() {
+		n.K.Schedule(at, func() {
 			if n.epoch != epoch {
 				return
 			}

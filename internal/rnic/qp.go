@@ -108,7 +108,7 @@ func (q *QP) reliablePost(m *wireMsg, size int, settled func() bool) {
 			}
 		}
 		n.post(q.remoteNIC, m, size)
-		n.K.After(n.Params.RetransmitInterval, func() { attempt(tries + 1) })
+		n.K.AfterFunc(n.Params.RetransmitInterval, func() { attempt(tries + 1) })
 	}
 	attempt(0)
 }
@@ -133,12 +133,12 @@ func (q *QP) localCompleteFuture(m *wireMsg, size int) *sim.Future[sim.Time] {
 	done := q.nic.tx.Reserve(q.nic.Params.ProcPerWQE)
 	epoch := q.nic.epoch
 	n := q.nic
-	n.K.At(done, func() {
+	n.K.Schedule(done, func() {
 		if n.epoch != epoch {
 			return
 		}
 		txDone := n.EP.Send(&fabric.Message{To: q.remoteNIC, Size: size, Payload: m})
-		n.K.At(txDone, func() { f.Complete(n.K.Now()) })
+		n.K.Schedule(txDone, func() { f.Complete(n.K.Now()) })
 	})
 	return f
 }
@@ -250,7 +250,7 @@ func (q *QP) SendFlushAsync(n int, data []byte) *sim.Future[sim.Time] {
 		durable := sim.NewFuture[sim.Time](q.nic.K)
 		k := q.nic.K
 		probe := q.FlushProbe
-		k.After(q.nic.Params.AddrLookup, func() {
+		k.AfterFunc(q.nic.Params.AddrLookup, func() {
 			rd := q.ReadAsync(probe, 1)
 			rd.Then(func([]byte) { durable.Complete(k.Now()) })
 		})

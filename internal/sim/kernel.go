@@ -9,10 +9,18 @@
 //
 // Virtual time is measured in integer nanoseconds (Time). All latencies in
 // the PRDMA models are expressed as time.Duration and added to Time values.
+//
+// Engine performance: the scheduling hot path is allocation-free. Events are
+// pooled on a per-kernel free list and recycled as soon as they fire; the
+// cancel flag lives inside the event (no escaping *bool); and Timer handles
+// use the event's unique sequence number as a generation tag so a recycled
+// event can never be canceled through a stale handle. Callers that discard
+// the Timer — the overwhelming majority of model code — should use Schedule
+// or AfterFunc, which skip the Timer allocation entirely. See DESIGN.md
+// "Engine performance".
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -31,34 +39,93 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: once fired (or popped
+// after cancellation) they return to the kernel's free list and are reused.
+// seq doubles as a generation tag — it is unique per scheduling and reset to
+// zero while the event sits on the free list, so stale Timer handles cannot
+// touch a recycled event.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
-	// canceled events stay in the heap but are skipped when popped.
-	canceled *bool
+	// canceled events stay in the heap (lazy deletion) and are recycled
+	// when they reach the top.
+	canceled bool
 }
 
-// eventHeap orders events by (at, seq).
+// eventHeap is a hand-rolled d-ary min-heap ordered by (at, seq). A 4-ary
+// layout beats both container/heap (interface-call overhead) and a binary
+// layout of the same code (shallower tree, better cache locality on the
+// sift-down path); see BenchmarkKernelEvents in bench_test.go and DESIGN.md
+// for the measurements that picked it.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// heapArity is the heap branching factor. 4 won the microbenchmark shootout
+// against 2 (see DESIGN.md "Engine performance"); the code works for any
+// arity >= 2 so the experiment is one constant away.
+const heapArity = 4
+
+func (h eventHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
+
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	h.up(len(*h) - 1)
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() *event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+	n := len(old) - 1
+	ev := old[0]
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 1 {
+		h.down(0)
+	}
 	return ev
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			return
+		}
+		m := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(c, m) {
+				m = c
+			}
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // Kernel is a discrete-event simulation engine.
@@ -66,6 +133,10 @@ type Kernel struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	// free is the event free list; dead counts canceled events still
+	// parked in the heap awaiting lazy deletion.
+	free []*event
+	dead int
 
 	// handoff channel used by procs to return control to the kernel.
 	handoff chan struct{}
@@ -84,23 +155,58 @@ func New() *Kernel {
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Pending reports the number of scheduled (possibly canceled) events.
-func (k *Kernel) Pending() int { return len(k.events) }
+// Pending reports the number of live (not canceled) scheduled events.
+func (k *Kernel) Pending() int { return len(k.events) - k.dead }
 
 // Procs reports the number of live procs.
 func (k *Kernel) Procs() int { return k.procs }
 
-// At schedules fn to run at virtual time t. Scheduling in the past panics:
-// that is always a model bug.
-func (k *Kernel) At(t Time, fn func()) *Timer {
+// schedule books fn at time t, drawing the event from the free list.
+func (k *Kernel) scheduleEvent(t Time, fn func()) *event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	c := false
-	ev := &event{at: t, seq: k.seq, fn: fn, canceled: &c}
-	heap.Push(&k.events, ev)
-	return &Timer{canceled: &c, at: t}
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.canceled = t, k.seq, fn, false
+	k.events.push(ev)
+	return ev
+}
+
+// recycle returns a popped event to the free list. seq 0 marks it free so
+// stale Timer handles (whose saved seq is always >= 1) become no-ops.
+func (k *Kernel) recycle(ev *event) {
+	ev.seq, ev.fn, ev.canceled = 0, nil, false
+	k.free = append(k.free, ev)
+}
+
+// Schedule runs fn at virtual time t. It is the allocation-free counterpart
+// of At for the common case where the caller never cancels: no Timer handle
+// is returned. Scheduling in the past panics: that is always a model bug.
+func (k *Kernel) Schedule(t Time, fn func()) {
+	k.scheduleEvent(t, fn)
+}
+
+// AfterFunc runs fn d from now; the allocation-free counterpart of After.
+func (k *Kernel) AfterFunc(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.scheduleEvent(k.now.Add(d), fn)
+}
+
+// At schedules fn to run at virtual time t and returns a cancel handle.
+// Callers that discard the handle should use Schedule instead.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	ev := k.scheduleEvent(t, fn)
+	return &Timer{k: k, ev: ev, seq: ev.seq, at: t}
 }
 
 // After schedules fn to run d from now.
@@ -111,16 +217,25 @@ func (k *Kernel) After(d time.Duration, fn func()) *Timer {
 	return k.At(k.now.Add(d), fn)
 }
 
-// Timer is a handle to a scheduled event that can be canceled.
+// Timer is a handle to a scheduled event that can be canceled. The handle
+// pins the event's sequence number: once the event fires and is recycled the
+// numbers no longer match and Stop becomes a no-op.
 type Timer struct {
-	canceled *bool
-	at       Time
+	k   *Kernel
+	ev  *event
+	seq uint64
+	at  Time
 }
 
 // Stop cancels the timer. It is safe to call after the event fired (no-op).
 func (t *Timer) Stop() {
-	if t != nil && t.canceled != nil {
-		*t.canceled = true
+	if t == nil || t.ev == nil {
+		return
+	}
+	if t.ev.seq == t.seq && !t.ev.canceled {
+		t.ev.canceled = true
+		t.ev.fn = nil
+		t.k.dead++
 	}
 }
 
@@ -143,15 +258,20 @@ func (k *Kernel) RunUntil(deadline Time) {
 			k.now = deadline
 			return
 		}
-		heap.Pop(&k.events)
-		if *ev.canceled {
+		k.events.pop()
+		if ev.canceled {
+			k.dead--
+			k.recycle(ev)
 			continue
 		}
 		if ev.at < k.now {
 			panic("sim: event queue went backwards")
 		}
 		k.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		// Recycle before firing so fn can schedule onto the freed slot.
+		k.recycle(ev)
+		fn()
 	}
 }
 

@@ -17,6 +17,20 @@ type Proc struct {
 	resume chan struct{}
 	dead   bool
 	killed bool
+
+	// wakeFn is the proc's resume thunk, allocated once at spawn so that
+	// Sleep/wake cycles schedule with zero allocations.
+	wakeFn func()
+
+	// Cond wait bookkeeping. A proc blocks on at most one Cond at a time,
+	// so the per-wait state lives here instead of in per-wait heap nodes.
+	// waitGen tags each wait; entries in a Cond's queue carry the tag, so
+	// entries from an expired wait (timeout, kill) are recognized as stale
+	// and skipped lazily — no O(n) removal, no retained "woken" list.
+	waitGen      uint64
+	waiting      bool
+	waitWoken    bool
+	waitSignaled bool
 }
 
 // Go spawns a new proc that starts executing at the current virtual time
@@ -33,6 +47,7 @@ func (k *Kernel) GoAfter(d time.Duration, name string, fn func(p *Proc)) *Proc {
 // GoAt spawns a proc that starts at time t.
 func (k *Kernel) GoAt(t Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{K: k, Name: name, resume: make(chan struct{})}
+	p.wakeFn = func() { k.schedule(p) }
 	k.procs++
 	go func() {
 		<-p.resume // wait for first scheduling
@@ -54,7 +69,7 @@ func (k *Kernel) GoAt(t Time, name string, fn func(p *Proc)) *Proc {
 		p.K.cur = nil
 		p.K.handoff <- struct{}{}
 	}()
-	k.At(t, func() { k.schedule(p) })
+	k.Schedule(t, p.wakeFn)
 	return p
 }
 
@@ -88,7 +103,7 @@ func (p *Proc) block() {
 
 // wakeAt schedules p to resume at time t.
 func (p *Proc) wakeAt(t Time) {
-	p.K.At(t, func() { p.K.schedule(p) })
+	p.K.Schedule(t, p.wakeFn)
 }
 
 // Sleep suspends the proc for d of virtual time.
@@ -119,7 +134,10 @@ func (p *Proc) Kill() {
 	p.killed = true
 	// Wake it so the kill panic unwinds it promptly. If it is currently
 	// blocked on a Cond/Chan it will be resumed here; double resumes are
-	// harmless because killed procs unwind immediately.
+	// harmless because killed procs unwind immediately. Any Cond entry it
+	// leaves behind is invalidated by bumping the wait generation.
+	p.waitGen++
+	p.waiting = false
 	p.wakeAt(p.K.now)
 }
 
@@ -131,15 +149,49 @@ func (p *Proc) Killed() bool { return p.killed }
 
 func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.Name) }
 
+// beginWait opens a Cond wait and returns its generation tag.
+func (p *Proc) beginWait() uint64 {
+	p.waitGen++
+	p.waiting = true
+	p.waitWoken = false
+	p.waitSignaled = false
+	return p.waitGen
+}
+
+// endWait closes the wait and reports whether it ended by Signal/Broadcast
+// (false = timeout). Closing bumps nothing: the generation only advances on
+// the next beginWait, and stale queue entries are skipped via !waiting.
+func (p *Proc) endWait() bool {
+	p.waiting = false
+	return p.waitSignaled
+}
+
+// waitActive reports whether p is still blocked in the wait tagged gen and
+// has not yet been woken by anyone (signal or timeout).
+func (p *Proc) waitActive(gen uint64) bool {
+	return p.waiting && p.waitGen == gen && !p.waitWoken &&
+		!p.dead && !p.killed
+}
+
 // Cond is a waiting list that procs can block on until signaled. Unlike
 // sync.Cond there is no associated lock: the simulation is single-threaded,
 // so state checked before Wait cannot change until the proc blocks.
+//
+// The queue uses lazy deletion: a wait that ends by timeout or kill leaves
+// its entry behind, tagged with a generation that no longer matches, and
+// Signal/Broadcast skip such entries when they surface. This makes the
+// timeout path O(1) and leaves no per-Cond bookkeeping behind for procs
+// that never wait again.
 type Cond struct {
 	K       *Kernel
-	waiters []*Proc
-	// woken tracks procs resumed by Signal/Broadcast so WaitTimeout can
-	// tell signals from timeouts.
-	woken []*Proc
+	waiters []condEntry
+}
+
+// condEntry is one queued wait; gen guards against the proc having since
+// timed out, been killed, or started a different wait.
+type condEntry struct {
+	p   *Proc
+	gen uint64
 }
 
 // NewCond returns a Cond bound to kernel k.
@@ -149,62 +201,41 @@ func NewCond(k *Kernel) *Cond { return &Cond{K: k} }
 // but callers typically still re-check their predicate in a loop because
 // another woken proc may consume the state first.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, p)
+	gen := p.beginWait()
+	c.waiters = append(c.waiters, condEntry{p, gen})
 	p.block()
-	c.clearWoken(p)
+	p.endWait()
 }
 
 // WaitTimeout blocks p until signaled or until d elapses. It reports whether
 // the proc was signaled (false = timeout).
 func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
-	signaled := false
-	c.waiters = append(c.waiters, p)
-	timer := p.K.After(d, func() {
-		// Remove p from the wait list and wake it.
-		for i, w := range c.waiters {
-			if w == p {
-				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
-				p.wakeAt(p.K.now)
-				return
-			}
+	gen := p.beginWait()
+	c.waiters = append(c.waiters, condEntry{p, gen})
+	p.K.AfterFunc(d, func() {
+		// Fires for every timed wait; a no-op unless p is still blocked
+		// in this exact wait and unsignaled. The queue entry is left for
+		// Signal to skip lazily.
+		if p.waitActive(gen) {
+			p.waitWoken = true
+			p.wakeAt(p.K.now)
 		}
 	})
 	p.block()
-	// If we are no longer in the waiters list due to Signal, the timer may
-	// still be pending; stop it. If the timer fired, Signal can no longer
-	// find us. Either way this is safe.
-	timer.Stop()
-	// We were signaled iff the timer's removal path did not run. The removal
-	// path only runs when p was still in waiters; Signal also removes us.
-	// Disambiguate via the signaled flag set below by Signal.
-	for _, w := range c.woken {
-		if w == p {
-			signaled = true
-		}
-	}
-	c.clearWoken(p)
-	return signaled
-}
-
-func (c *Cond) clearWoken(p *Proc) {
-	for i, w := range c.woken {
-		if w == p {
-			c.woken = append(c.woken[:i], c.woken[i+1:]...)
-			return
-		}
-	}
+	return p.endWait()
 }
 
 // Signal wakes the longest-waiting proc, if any.
 func (c *Cond) Signal() {
 	for len(c.waiters) > 0 {
-		p := c.waiters[0]
+		e := c.waiters[0]
 		c.waiters = c.waiters[1:]
-		if p.dead {
-			continue
+		if !e.p.waitActive(e.gen) {
+			continue // stale: timed out, killed, dead, or a later wait
 		}
-		c.woken = append(c.woken, p)
-		p.wakeAt(c.K.now)
+		e.p.waitWoken = true
+		e.p.waitSignaled = true
+		e.p.wakeAt(c.K.now)
 		return
 	}
 }
@@ -213,11 +244,12 @@ func (c *Cond) Signal() {
 func (c *Cond) Broadcast() {
 	ws := c.waiters
 	c.waiters = nil
-	for _, p := range ws {
-		if p.dead {
+	for _, e := range ws {
+		if !e.p.waitActive(e.gen) {
 			continue
 		}
-		c.woken = append(c.woken, p)
-		p.wakeAt(c.K.now)
+		e.p.waitWoken = true
+		e.p.waitSignaled = true
+		e.p.wakeAt(c.K.now)
 	}
 }
