@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"prdma/internal/crashcheck"
+	"prdma/internal/rpc"
+)
+
+// crashcheckOptions selects which sweeps `prdmabench -crashcheck` runs.
+type crashcheckOptions struct {
+	family   string // substring match against the family name, "" = all
+	mix      string // exact mix name, "" = all
+	points   int    // event-boundary crash points per (family, mix) cell
+	torn     int    // additional mid-persist (torn-write) points per cell
+	seed     int64
+	parallel int
+	// ackBug re-introduces the §2.4 premature-ack bug (flush ACK at DMA
+	// placement instead of the durability horizon) so the sweep's catch —
+	// lost acked writes with a minimal reproduction — can be demonstrated.
+	ackBug bool
+	// objSize overrides the per-request object size (0 = harness default).
+	// Large objects widen the placement→durability gap the ack bug exposes.
+	objSize int
+}
+
+// runCrashcheck sweeps crash points over every selected durable-RPC family
+// and traffic mix, prints one summary line per cell, and — on any invariant
+// violation — prints the violations plus the minimal reproduction recipe
+// (seed + crash point). Returns the number of cells with violations.
+func runCrashcheck(w io.Writer, o crashcheckOptions) int {
+	type cell struct {
+		kind rpc.Kind
+		mix  crashcheck.Mix
+	}
+	var cells []cell
+	for _, kind := range rpc.DurableKinds {
+		if o.family != "" && !strings.Contains(
+			strings.ToLower(kind.String()), strings.ToLower(o.family)) {
+			continue
+		}
+		for _, mix := range crashcheck.Mixes {
+			if o.mix != "" && mix.String() != o.mix {
+				continue
+			}
+			cells = append(cells, cell{kind, mix})
+		}
+	}
+	if len(cells) == 0 {
+		fmt.Fprintf(os.Stderr, "crashcheck: no family matches -family %q / -mix %q\n", o.family, o.mix)
+		os.Exit(2)
+	}
+
+	workers := o.parallel
+	if workers <= 0 || workers > len(cells) {
+		workers = len(cells)
+	}
+	results := make([]crashcheck.Result, len(cells))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				cfg := crashcheck.DefaultConfig(cells[idx].kind, cells[idx].mix, o.seed)
+				cfg.Points = o.points
+				cfg.TornPoints = o.torn
+				cfg.AckBeforeDurable = o.ackBug
+				if o.objSize > 0 {
+					cfg.ObjSize = o.objSize
+				}
+				results[idx] = crashcheck.Sweep(cfg)
+			}
+		}()
+	}
+	for idx := range cells {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	bad := 0
+	for _, res := range results {
+		fmt.Fprintf(w, "%-13v %-9v seed=%-4d points=%-4d events=%-6d replays=%-5d violations=%d\n",
+			res.Kind, res.Mix, res.Seed, res.Points, res.Events, res.Replayed, res.ViolationCount)
+		if res.ViolationCount == 0 {
+			continue
+		}
+		bad++
+		for _, v := range res.Violations {
+			fmt.Fprintf(w, "  VIOLATION %v\n", v)
+		}
+		if res.ViolationCount > len(res.Violations) {
+			fmt.Fprintf(w, "  ... %d further violations truncated\n", res.ViolationCount-len(res.Violations))
+		}
+		if min := res.Minimal(); min != nil {
+			cmd := fmt.Sprintf("-crashcheck -family %s -mix %s -seed %d -points %d -torn %d",
+				strings.TrimSuffix(min.Kind.String(), "-RPC"), min.Mix, min.Seed, o.points, o.torn)
+			if o.ackBug {
+				cmd += " -ackbug"
+			}
+			if o.objSize > 0 {
+				cmd += fmt.Sprintf(" -objsize %d", o.objSize)
+			}
+			fmt.Fprintf(w, "  minimal repro: %s  crash at {%v} (t=%v)\n", cmd, min.Point, min.At)
+		}
+	}
+	return bad
+}
+
+// crashcheckMain is the -crashcheck entry point; it exits non-zero when
+// any sweep finds a violation.
+func crashcheckMain(o crashcheckOptions) {
+	start := time.Now()
+	bad := runCrashcheck(os.Stdout, o)
+	fmt.Fprintf(os.Stderr, "[crashcheck done in %v]\n", time.Since(start).Round(time.Millisecond))
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "crashcheck: %d sweep(s) violated crash-consistency invariants\n", bad)
+		os.Exit(1)
+	}
+}

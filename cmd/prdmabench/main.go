@@ -11,6 +11,9 @@
 //	prdmabench -all -scale full    # the paper's exact workload sizes
 //	prdmabench -all -parallel 1    # force sequential cells (default: one worker per CPU)
 //	prdmabench -fig 8 -cpuprofile cpu.pprof   # profile the harness itself
+//	prdmabench -crashcheck         # crash-point sweep over every durable RPC family
+//	prdmabench -crashcheck -family WFlush -points 50 -torn 10   # short smoke sweep
+//	prdmabench -crashcheck -ackbug -objsize 16384   # demo: catch the §2.4 premature-ack bug (exit 1)
 //
 // Experiment cells are independent deployments, so drivers fan them across
 // a worker pool (-parallel). Output is byte-identical at any setting; only
@@ -38,6 +41,13 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	parallel := flag.Int("parallel", -1, "concurrent experiment cells per figure (1 = sequential, -1 = one per CPU); tables are identical at any setting")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	ccheck := flag.Bool("crashcheck", false, "sweep crash points over the durable-RPC recovery path and check invariants")
+	family := flag.String("family", "", "crashcheck: restrict to one RPC family (substring, e.g. WFlush or S-RFlush)")
+	mix := flag.String("mix", "", "crashcheck: restrict to one traffic mix (writes|readwrite|batch)")
+	points := flag.Int("points", 300, "crashcheck: event-boundary crash points per family/mix cell")
+	torn := flag.Int("torn", 40, "crashcheck: additional mid-persist (torn-write) crash points per cell")
+	ackbug := flag.Bool("ackbug", false, "crashcheck: re-introduce the §2.4 premature-ack bug to demonstrate the sweep catching it (expect exit 1)")
+	objsize := flag.Int("objsize", 0, "crashcheck: per-request object bytes (0 = harness default)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -51,6 +61,20 @@ func main() {
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *ccheck {
+		crashcheckMain(crashcheckOptions{
+			family:   *family,
+			mix:      *mix,
+			points:   *points,
+			torn:     *torn,
+			seed:     int64(*seed),
+			parallel: *parallel,
+			ackBug:   *ackbug,
+			objSize:  *objsize,
+		})
+		return
 	}
 
 	var o bench.Options

@@ -87,8 +87,13 @@ func NewDriver(k *sim.Kernel, server *host.Host, engine *rpc.Server, client rpc.
 	return &Driver{K: k, Server: server, Engine: engine, Client: client, P: p, serverUp: true}
 }
 
-// crash fails the server host and schedules its restart.
+// crash fails the server host and schedules its restart. A crash landing
+// while the server is already down (or still restarting) is ignored: double-
+// crashing would schedule a second restart and double-count the failure.
 func (d *Driver) crash() {
+	if !d.serverUp {
+		return
+	}
 	d.serverUp = false
 	d.Server.Crash()
 	d.Engine.Crash()
@@ -163,10 +168,21 @@ func (d *Driver) Run(p *sim.Proc, gen func(i int) *rpc.Request) Measurement {
 	var recoveryCost time.Duration
 	for c := 0; c < d.P.Crashes; c++ {
 		start := p.Now()
-		// Crash strikes while the window's requests are in flight.
+		// Crash strikes while the window's requests are in flight. The
+		// timer is canceled once the window drains: a fast window must not
+		// leave a live crash armed to fire into the next window (or after
+		// Run returns), which would skew PerCrashCost and the crash count.
 		half := d.P.OpsPerWindow / 2
-		d.K.AfterFunc(time.Duration(half)*m.CleanPerOp, func() { d.crash() })
+		fired := false
+		timer := d.K.After(time.Duration(half)*m.CleanPerOp, func() {
+			fired = true
+			d.crash()
+		})
 		d.window(p, d.P.OpsPerWindow, (c+1)*d.P.OpsPerWindow, gen, &m)
+		timer.Stop()
+		if !fired {
+			continue // window drained before the crash could land
+		}
 		m.Crashes++
 		window := p.Now().Sub(start)
 		over := window - m.CleanPerOp*time.Duration(d.P.OpsPerWindow) - d.P.Restart

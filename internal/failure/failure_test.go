@@ -179,3 +179,58 @@ func TestExpectedTotalMonotonicity(t *testing.T) {
 		t.Fatalf("clean total = %v", clean)
 	}
 }
+
+// A window that drains faster than the calibrated crash delay must not leave
+// the crash timer armed: before the fix it fired into the next window (or
+// after Run returned), crashing a server no measurement was watching and
+// corrupting PerCrashCost.
+func TestFastWindowLeavesNoArmedCrash(t *testing.T) {
+	k := sim.New()
+	net := fabric.New(k, fabric.DefaultParams(), 11)
+	np := rnic.DefaultParams()
+	cli := host.New(k, "cli", net, host.DefaultParams(), pmem.DefaultParams(), np)
+	srv := host.New(k, "srv", net, host.DefaultParams(), pmem.DefaultParams(), np)
+	store, err := rpc.NewStore(srv, 256, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rpc.DefaultConfig()
+	cfg.Workers = 2
+	engine := rpc.NewServer(srv, store, cfg)
+	c := rpc.New(rpc.WFlushRPC, cli, engine, cfg).(rpc.Recoverable)
+
+	p := shortParams()
+	// Calibration ops are 512x larger than the crash-window ops, so every
+	// crash window drains long before half a calibrated window elapses.
+	gen := func(i int) *rpc.Request {
+		size := 64
+		if i < p.OpsPerWindow {
+			size = 32768
+		}
+		return &rpc.Request{Op: rpc.OpWrite, Key: uint64(i % 128), Size: size}
+	}
+	d := NewDriver(k, srv, engine, c, p)
+	var m Measurement
+	k.Go("driver", func(pp *sim.Proc) {
+		m = d.Run(pp, gen)
+		// Idle long past the crash delay: a leaked timer would fire here.
+		pp.Sleep(time.Second)
+	})
+	k.Run()
+
+	if srv.Crashes != 0 {
+		t.Fatalf("server crashed %d times; every window drained before its crash delay", srv.Crashes)
+	}
+	if m.Crashes != 0 {
+		t.Fatalf("measurement counted %d crashes that never landed", m.Crashes)
+	}
+	if m.PerCrashCost != 0 {
+		t.Fatalf("PerCrashCost = %v from zero observed crashes", m.PerCrashCost)
+	}
+	if !d.serverUp {
+		t.Fatal("server left down after Run")
+	}
+	if want := p.OpsPerWindow * (p.Crashes + 1); m.Ops != want {
+		t.Fatalf("ops = %d, want %d", m.Ops, want)
+	}
+}

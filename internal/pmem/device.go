@@ -94,6 +94,11 @@ type Device struct {
 	// epoch invalidates in-flight persist completions on crash.
 	epoch int
 
+	// inflight records the service interval of every data-carrying persist
+	// that tears (applies in more than one chunk). Crash-point sweeps sample
+	// crash times inside these windows to exercise partial application.
+	inflight []TornWindow
+
 	// Stats.
 	PersistOps   int64
 	PersistBytes int64
@@ -178,6 +183,7 @@ func (d *Device) Persist(at sim.Time, addr int64, n int, data []byte, path Path)
 	}
 	if chunks > 1 {
 		d.TornWrites++
+		d.noteTorn(start, end)
 	}
 	per := n / chunks
 	off := 0
@@ -205,6 +211,38 @@ func (d *Device) Persist(at sim.Time, addr int64, n int, data []byte, path Path)
 		off += sz
 	}
 	return end
+}
+
+// TornWindow is the service interval of an in-flight multi-chunk persist: a
+// crash strictly inside (Start, End) leaves the write partially applied.
+type TornWindow struct {
+	Start, End sim.Time
+}
+
+// noteTorn records a tearable persist interval, pruning windows that have
+// already completed so the slice tracks only the in-flight set.
+func (d *Device) noteTorn(start, end sim.Time) {
+	now := d.K.Now()
+	live := d.inflight[:0]
+	for _, w := range d.inflight {
+		if w.End > now {
+			live = append(live, w)
+		}
+	}
+	d.inflight = append(live, TornWindow{Start: start, End: end})
+}
+
+// InflightTornWindows returns the service intervals of multi-chunk persists
+// still in flight at time now. Crash-point sweeps use them to aim crashes
+// inside torn-write intervals rather than only at event boundaries.
+func (d *Device) InflightTornWindows(now sim.Time) []TornWindow {
+	var out []TornWindow
+	for _, w := range d.inflight {
+		if w.End > now {
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 // PersistSync persists and blocks p until durable.
@@ -280,6 +318,7 @@ func (d *Device) ReadBytes(addr int64, n int) []byte {
 // The media queue is drained because the device restarts idle.
 func (d *Device) Crash() {
 	d.epoch++
+	d.inflight = nil
 	for _, ch := range d.media {
 		ch.Reset()
 	}

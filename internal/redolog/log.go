@@ -115,6 +115,11 @@ type Log struct {
 	// Trace, when set, receives append/consume/recover events.
 	Trace func(cat, format string, args ...interface{})
 
+	// OnRecover, when set, observes every Recover scan right after the
+	// volatile state is rebuilt. The crashcheck harness uses it to assert
+	// replay-order and accounting invariants on each recovery.
+	OnRecover func(RecoverInfo)
+
 	base int64 // region base (control area)
 	lo   int64 // first entry byte
 	size int64 // entry area capacity
@@ -125,6 +130,18 @@ type Log struct {
 	nextSeq uint64
 	window  []*rec // FIFO window of in-ring entries
 	bySeq   map[uint64]*rec
+
+	// durUsed is the byte span from the durable head (the last head offset
+	// whose control-word persist completed) to the tail. Reserve must keep
+	// this — not just used — within capacity: space reclaimed in DRAM but
+	// not yet durably recorded may still be scanned by recovery, so
+	// overwriting it would make a crash lose acknowledged entries.
+	durUsed int64
+	// freedSinceCtrl accumulates reclaimed bytes between control persists;
+	// each persist moves its accumulated total out of durUsed on completion.
+	freedSinceCtrl int64
+	// gen invalidates scheduled durUsed updates across a Recover.
+	gen int
 
 	// CtrlEvery batches the durable control-pointer update: the head/floor
 	// words are persisted once per CtrlEvery head advances rather than on
@@ -161,6 +178,18 @@ func (l *Log) Capacity() int64 { return l.size }
 // quantity the paper's back-pressure threshold watches.
 func (l *Log) Outstanding() int { return len(l.bySeq) }
 
+// NextSeq allocates a sequence number with no ring footprint. Non-mutating
+// requests use it: they share the connection's FIFO sequence space (response
+// matching, ring-slot rotation) but never occupy log bytes — a reserved slot
+// that is never written would read as garbage to the recovery scan and make
+// it stop early, losing acknowledged entries behind it. In-log sequences are
+// therefore gapped; Recover accepts any strictly-increasing run.
+func (l *Log) NextSeq() uint64 {
+	seq := l.nextSeq
+	l.nextSeq++
+	return seq
+}
+
 // UsedBytes returns the occupied ring capacity.
 func (l *Log) UsedBytes() int64 { return l.used }
 
@@ -178,13 +207,22 @@ func (l *Log) Reserve(n int) (uint64, int64, error) {
 	if tailroom := l.size - l.tail; tailroom < foot {
 		slack = tailroom
 	}
-	if l.used+foot+max0(slack) > l.size {
-		return 0, 0, fmt.Errorf("redolog: ring full (%d/%d bytes, %d outstanding)", l.used, l.size, len(l.bySeq))
+	// Capacity is gated on the durable span, not the volatile one: bytes
+	// between the durable head and the tail may still be rescanned after a
+	// crash, so they cannot be overwritten until a control persist lands.
+	if l.durUsed+foot+max0(slack) > l.size {
+		if l.freedSinceCtrl > 0 {
+			// Space exists but its reclamation is not durable yet: expedite
+			// the control persist so the caller's retry can succeed.
+			l.persistCtrl(l.K.Now())
+		}
+		return 0, 0, fmt.Errorf("redolog: ring full (%d/%d durable-span bytes, %d outstanding)", l.durUsed, l.size, len(l.bySeq))
 	}
 	if slack >= 0 {
 		if slack > 0 {
 			l.window = append(l.window, &rec{off: l.tail, foot: slack, consumed: true})
 			l.used += slack
+			l.durUsed += slack
 		}
 		l.tail = 0
 	}
@@ -195,6 +233,7 @@ func (l *Log) Reserve(n int) (uint64, int64, error) {
 	l.bySeq[seq] = r
 	l.tail += foot
 	l.used += foot
+	l.durUsed += foot
 	l.Appends++
 	return seq, l.lo + r.off, nil
 }
@@ -241,6 +280,7 @@ func (l *Log) Consume(at sim.Time, seq uint64) sim.Time {
 	advanced := false
 	for len(l.window) > 0 && l.window[0].consumed {
 		l.used -= l.window[0].foot
+		l.freedSinceCtrl += l.window[0].foot
 		l.window = l.window[1:]
 		advanced = true
 	}
@@ -260,6 +300,14 @@ func (l *Log) Consume(at sim.Time, seq uint64) sim.Time {
 		return at
 	}
 	l.ctrlSkew = 0
+	return l.persistCtrl(at)
+}
+
+// persistCtrl persists the current head/floor words starting at time at and
+// returns the later completion. The bytes freed since the previous control
+// persist leave the durable span only when this persist completes — until
+// then a crash would rescan them.
+func (l *Log) persistCtrl(at sim.Time) sim.Time {
 	headOff := l.tail
 	floor := l.nextSeq
 	if len(l.window) > 0 {
@@ -274,10 +322,20 @@ func (l *Log) Consume(at sim.Time, seq uint64) sim.Time {
 	f := make([]byte, 8)
 	binary.LittleEndian.PutUint64(f, floor)
 	t2 := l.PM.Persist(at, l.base+8, 8, f, pmem.CPU)
-	if t2 > t1 {
-		return t2
+	if t1 > t2 {
+		t2 = t1
 	}
-	return t1
+	freed := l.freedSinceCtrl
+	l.freedSinceCtrl = 0
+	if freed > 0 {
+		gen := l.gen
+		l.K.Schedule(t2, func() {
+			if l.gen == gen {
+				l.durUsed -= freed
+			}
+		})
+	}
+	return t2
 }
 
 // EntryAddr returns the PM address of a live entry.
@@ -289,11 +347,22 @@ func (l *Log) EntryAddr(seq uint64) (int64, bool) {
 	return l.lo + r.off, true
 }
 
+// RecoverInfo summarizes one Recover scan for observers.
+type RecoverInfo struct {
+	// Entries are the recovered records, in replay (FIFO seq) order.
+	Entries []Entry
+	// Floor is the durable floor the scan honored; HeadOff the durable head
+	// offset it started from.
+	Floor   uint64
+	HeadOff int64
+}
+
 // Recover scans the ring after a crash and returns the committed entries at
 // or above the durable floor, in FIFO order — the RPCs that were durable but
 // not durably consumed. It restores the volatile cursors so the log can
-// continue, re-registering recovered entries as live. p pays media-read
-// latency for the scan.
+// continue, re-registering recovered entries as live, then persists a fresh
+// control checkpoint so a subsequent crash rescans from an exact frontier.
+// p pays media-read latency for the scan and the checkpoint persist.
 func (l *Log) Recover(p *sim.Proc) []Entry {
 	ctrl := l.PM.ReadSync(p, l.base, ctrlBytes)
 	headOff := int64(binary.LittleEndian.Uint64(ctrl[0:]))
@@ -305,11 +374,13 @@ func (l *Log) Recover(p *sim.Proc) []Entry {
 		headOff = 0
 	}
 
+	l.gen++ // invalidate scheduled durable-span updates from before the crash
 	l.window = nil
 	l.bySeq = make(map[uint64]*rec)
 	l.used = 0
 	l.tail = headOff
 	l.nextSeq = floor
+	l.ctrlSkew = 0
 
 	var out []Entry
 	off := headOff
@@ -345,9 +416,14 @@ func (l *Log) Recover(p *sim.Proc) []Entry {
 			valid = binary.LittleEndian.Uint64(cb) == commitMagic^seq^oplen
 		}
 		if !valid {
-			// Either wrap slack (jump to the ring start, once) or the
-			// torn frontier of the log (stop).
-			if !wrapped && off != headOff {
+			// Either the torn frontier of the log (stop) or a head that
+			// does not sit on a live entry: lazy control persists can
+			// leave the durable head pointing into wrap slack, in which
+			// case the surviving entries sit at the ring start. Probe
+			// offset 0 once before giving up — the probe cannot resurrect
+			// stale records because everything physically below the
+			// durable head is below the durable floor and gets skipped.
+			if !wrapped {
 				wrapTo0()
 				continue
 			}
@@ -358,9 +434,12 @@ func (l *Log) Recover(p *sim.Proc) []Entry {
 			off += foot
 			continue
 		}
-		if expect != 0 && seq != expect {
+		if seq < expect {
 			break // stale entry from an older lap: frontier reached
 		}
+		// Sequences must strictly increase but need not be contiguous:
+		// non-mutating requests consume sequence numbers without writing
+		// log entries (see NextSeq).
 		expect = seq + 1
 		if pendSlackOff >= 0 {
 			if slack := l.size - pendSlackOff; slack > 0 {
@@ -384,6 +463,21 @@ func (l *Log) Recover(p *sim.Proc) []Entry {
 		}
 		off += foot
 	}
+	// Wrap slack positioned behind the first surviving entry is dead space
+	// the checkpoint steps over; drop it so the head lands on a real entry.
+	for len(l.window) > 0 && l.window[0].consumed {
+		l.used -= l.window[0].foot
+		l.window = l.window[1:]
+	}
+	// The durable span still stretches from the pre-crash head to the
+	// rebuilt tail until the recovery checkpoint below lands; account for
+	// the gap so concurrent reservations cannot overwrite the old frontier.
+	span := l.tail - headOff
+	for span < l.used {
+		span += l.size
+	}
+	l.durUsed = span
+	l.freedSinceCtrl = span - l.used
 	l.Recovered += int64(len(out))
 	if l.Trace != nil {
 		first, last := uint64(0), uint64(0)
@@ -392,5 +486,98 @@ func (l *Log) Recover(p *sim.Proc) []Entry {
 		}
 		l.Trace("redolog", "recover: %d entries (seq %d..%d), floor=%d headOff=%d", len(out), first, last, floor, headOff)
 	}
+	if l.OnRecover != nil {
+		l.OnRecover(RecoverInfo{Entries: out, Floor: floor, HeadOff: headOff})
+	}
+	// Recovery checkpoint: persist the exact rebuilt frontier. A crash
+	// before it completes simply rescans from the old conservative head.
+	done := l.persistCtrl(p.K.Now())
+	p.Sleep(done.Sub(p.K.Now()))
 	return out
+}
+
+// Accounting is a snapshot of the ring's volatile cursors for tests and
+// invariant checks.
+type Accounting struct {
+	Used, DurUsed, Tail int64
+	WindowLen, Live     int
+	NextSeq             uint64
+}
+
+// Snapshot returns the current accounting state.
+func (l *Log) Snapshot() Accounting {
+	return Accounting{
+		Used: l.used, DurUsed: l.durUsed, Tail: l.tail,
+		WindowLen: len(l.window), Live: len(l.bySeq), NextSeq: l.nextSeq,
+	}
+}
+
+// CheckAccounting verifies the ring's cursors against a from-scratch
+// reconstruction from the FIFO window: contiguous offsets (mod one wrap),
+// used equal to the sum of window footprints, a tail at the end of the last
+// record, a live map in bijection with unconsumed records, and sequence
+// numbers monotone below nextSeq. It returns the first violation found.
+func (l *Log) CheckAccounting() error {
+	var used int64
+	live := 0
+	lastSeq := uint64(0)
+	for i, r := range l.window {
+		if r.foot <= 0 || r.off < 0 || r.off+r.foot > l.size {
+			return fmt.Errorf("redolog: window[%d] footprint [%d,+%d) outside ring of %d", i, r.off, r.foot, l.size)
+		}
+		if i > 0 {
+			prev := l.window[i-1]
+			end := prev.off + prev.foot
+			if end == l.size {
+				end = 0
+			}
+			if r.off != end {
+				return fmt.Errorf("redolog: window[%d] at %d not contiguous with previous end %d", i, r.off, end)
+			}
+		}
+		used += r.foot
+		if r.seq == 0 {
+			if !r.consumed {
+				return fmt.Errorf("redolog: window[%d] wrap slack not marked consumed", i)
+			}
+			continue
+		}
+		if r.seq <= lastSeq {
+			return fmt.Errorf("redolog: window[%d] seq %d not above predecessor %d", i, r.seq, lastSeq)
+		}
+		lastSeq = r.seq
+		if r.seq >= l.nextSeq {
+			return fmt.Errorf("redolog: window[%d] seq %d >= nextSeq %d", i, r.seq, l.nextSeq)
+		}
+		got, ok := l.bySeq[r.seq]
+		if r.consumed {
+			if ok {
+				return fmt.Errorf("redolog: consumed seq %d still in live map", r.seq)
+			}
+		} else {
+			live++
+			if !ok || got != r {
+				return fmt.Errorf("redolog: live seq %d missing from or mismatched in live map", r.seq)
+			}
+		}
+	}
+	if used != l.used {
+		return fmt.Errorf("redolog: used=%d but window sums to %d", l.used, used)
+	}
+	if live != len(l.bySeq) {
+		return fmt.Errorf("redolog: %d live window records but %d map entries", live, len(l.bySeq))
+	}
+	if len(l.window) > 0 {
+		last := l.window[len(l.window)-1]
+		if l.tail != last.off+last.foot {
+			return fmt.Errorf("redolog: tail=%d but last record ends at %d", l.tail, last.off+last.foot)
+		}
+	}
+	if l.used < 0 || l.used > l.size {
+		return fmt.Errorf("redolog: used=%d outside [0,%d]", l.used, l.size)
+	}
+	if l.durUsed < l.used || l.durUsed > l.size {
+		return fmt.Errorf("redolog: durable span %d outside [used=%d, size=%d]", l.durUsed, l.used, l.size)
+	}
+	return nil
 }

@@ -396,7 +396,11 @@ func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 			return
 		}
 		if m.Flush {
-			n.K.Schedule(horizon, func() {
+			ackAt := horizon
+			if n.Params.AckBeforeDurable {
+				ackAt = pcieDone // §2.4 bug: ACK before the media persist
+			}
+			n.K.Schedule(ackAt, func() {
 				if n.epoch != epoch {
 					return
 				}
@@ -479,7 +483,11 @@ func (n *NIC) placeSend(q *QP, m *wireMsg, buf RecvBuf) {
 			q.lastDurable = d
 		}
 		durable = q.lastDurable // horizon semantics: see inboundWrite
-		n.K.Schedule(durable, func() {
+		ackAt := durable
+		if n.Params.AckBeforeDurable {
+			ackAt = dma2 // §2.4 bug: ACK before the media persist
+		}
+		n.K.Schedule(ackAt, func() {
 			if n.epoch != epoch {
 				return
 			}

@@ -88,6 +88,12 @@ type Params struct {
 	// Flush-flagged operations bypass DDIO, modelling the non-cacheable
 	// regions of §4.4.2.
 	DDIO bool
+	// AckBeforeDurable deliberately breaks the Flush contract: the flush
+	// ACK is issued at DMA placement (T_A-ish) instead of the durability
+	// horizon (T_B), re-creating the §2.4 premature-acknowledgement bug.
+	// Only the crash-point sweep checker sets it, to prove the checker
+	// catches acknowledged-but-lost requests.
+	AckBeforeDurable bool
 }
 
 // DefaultParams returns the ConnectX-4-like defaults from DESIGN.md §4.

@@ -1,28 +1,79 @@
 package rpc
 
-// opBatch is the internal operation code marking a batched request: one wire
-// message carrying several application requests (§4.3, Fig. 6 / Fig. 19).
-const opBatch Op = 200
+import "encoding/binary"
 
-// stashBatch registers a batch under seq and returns the enclosing wire
-// request. The constituent requests travel inside the message body in a real
-// system; the simulation times the full body and passes the decoded slice
-// through the connection's batch table.
-func (c *conn) stashBatch(seq uint64, reqs []*Request) *Request {
+// Batch op codes mark a batched request: one wire message carrying several
+// application requests (§4.3, Fig. 6 / Fig. 19). A batch containing at least
+// one write travels as opBatch and engages the durability machinery; a
+// read-only batch travels as opBatchRO and must not — "RDMA Flush primitives
+// are only needed for a small portion of RDMA write operations" (§5.5).
+const (
+	opBatch   Op = 200
+	opBatchRO Op = 201
+)
+
+// isBatchOp reports whether op is a batch frame.
+func isBatchOp(op Op) bool { return op == opBatch || op == opBatchRO }
+
+// makeBatchFrame builds the enclosing wire request for a batch. The frame's
+// payload serializes the constituent requests back-to-back, so a batch entry
+// recovered from the redo log can be replayed after a crash even though the
+// connection's volatile batch table died with the process. Batches whose
+// write payloads are synthetic (timing-only) stay unmaterialized and are —
+// like all synthetic traffic — not recoverable by design.
+func makeBatchFrame(reqs []*Request) (*Request, bool) {
 	total := 0
 	hasWrite := false
+	material := true
 	for _, r := range reqs {
 		total += reqWireBytes(r)
 		if r.Op == OpWrite {
 			hasWrite = true
+			if len(r.Payload) != r.Size {
+				material = false
+			}
 		}
 	}
-	_ = hasWrite
+	var body []byte
+	if material {
+		body = make([]byte, 0, total)
+		for _, r := range reqs {
+			body = append(body, encodeReq(0, r)...)
+		}
+	}
+	op := opBatch
+	if !hasWrite {
+		op = opBatchRO
+	}
+	return &Request{Op: op, Size: total, Key: uint64(len(reqs)), Payload: body}, hasWrite
+}
+
+// decodeBatch reconstructs a batch's constituent requests from the frame
+// body (the recovery path; the live path uses the volatile stash).
+func decodeBatch(body []byte) []*Request {
+	var out []*Request
+	for off := 0; off+reqHeaderBytes <= len(body); {
+		op := Op(body[off+24])
+		n := reqWireBytes(&Request{Op: op, Size: int(binary.LittleEndian.Uint32(body[off+16:]))})
+		if off+n > len(body) {
+			break
+		}
+		_, r := decodeReq(body[off : off+n])
+		out = append(out, r)
+		off += n
+	}
+	return out
+}
+
+// stashBatch registers a batch under seq and returns the enclosing wire
+// request plus whether any constituent mutates.
+func (c *conn) stashBatch(seq uint64, reqs []*Request) (*Request, bool) {
+	breq, hasWrite := makeBatchFrame(reqs)
 	if c.batches == nil {
 		c.batches = make(map[uint64][]*Request)
 	}
 	c.batches[seq] = reqs
-	return &Request{Op: opBatch, Size: total - reqHeaderBytes, Key: uint64(len(reqs))}
+	return breq, hasWrite
 }
 
 // takeBatch retrieves and forgets the batch stashed under seq.
@@ -32,11 +83,11 @@ func (c *conn) takeBatch(seq uint64) []*Request {
 	return reqs
 }
 
-// batchRespBytes sums the response sizes of a batch.
-func batchRespBytes(reqs []*Request) int {
-	n := respHeaderBytes
-	for _, r := range reqs {
-		n += respWireBytes(r) - respHeaderBytes
+// batchReqs resolves a batch frame to its constituent requests: the volatile
+// stash on the live path, the serialized frame body after a crash.
+func (c *conn) batchReqs(seq uint64, req *Request) []*Request {
+	if reqs := c.takeBatch(seq); reqs != nil {
+		return reqs
 	}
-	return n
+	return decodeBatch(req.Payload)
 }

@@ -109,7 +109,7 @@ func (c *octopusDurable) Call(p *sim.Proc, req *Request) (*Response, error) {
 		dur := c.cq.WriteFlush(p, addr, req.Size, req.Payload)
 		c.srv.Store.Writes++
 		done.Complete(dur)
-		return &Response{IssuedAt: issued, ReadyAt: dur, DurableAt: dur, Done: done}, nil
+		return &Response{IssuedAt: issued, ReadyAt: dur, DurableAt: dur, Durable: done, Done: done}, nil
 	default:
 		c.cli.Post(p)
 		data := c.cq.Read(p, addr, req.Size)
@@ -119,6 +119,6 @@ func (c *octopusDurable) Call(p *sim.Proc, req *Request) (*Response, error) {
 		if req.Payload == nil {
 			data = nil
 		}
-		return &Response{Data: data, IssuedAt: issued, ReadyAt: now, DurableAt: now, Done: done}, nil
+		return &Response{Data: data, IssuedAt: issued, ReadyAt: now, DurableAt: now, Durable: done, Done: done}, nil
 	}
 }

@@ -1,0 +1,41 @@
+package rpc
+
+import (
+	"fmt"
+
+	"prdma/internal/redolog"
+)
+
+// DecodeLoggedRequest decodes a recovered redo-log entry back into the
+// request it logged and cross-checks the entry's header against the frame
+// it carries. The crash-point sweep checker uses it to assert that every
+// entry surviving Recover is internally consistent — a torn or misframed
+// entry that slipped past the commit-word check would surface here.
+func DecodeLoggedRequest(e redolog.Entry) (uint64, *Request, error) {
+	if len(e.Payload) < reqHeaderBytes {
+		return 0, nil, fmt.Errorf("entry seq %d: payload %d bytes < request header", e.Seq, len(e.Payload))
+	}
+	seq, req := decodeReq(e.Payload)
+	if seq != e.Seq {
+		return 0, nil, fmt.Errorf("entry seq %d: framed seq %d disagrees", e.Seq, seq)
+	}
+	if byte(req.Op) != e.Op {
+		return 0, nil, fmt.Errorf("entry seq %d: framed op %d disagrees with entry op %d", e.Seq, req.Op, e.Op)
+	}
+	if n := reqWireBytes(req); n != e.Len {
+		return 0, nil, fmt.Errorf("entry seq %d: framed wire size %d disagrees with entry length %d", e.Seq, n, e.Len)
+	}
+	if carriesPayload(req.Op) && len(req.Payload) != req.Size {
+		return 0, nil, fmt.Errorf("entry seq %d: payload %d bytes, declared size %d", e.Seq, len(req.Payload), req.Size)
+	}
+	return seq, req, nil
+}
+
+// BatchContents returns the constituent requests serialized in a batch
+// frame, or (nil, false) when req is not a batch frame.
+func BatchContents(req *Request) ([]*Request, bool) {
+	if !isBatchOp(req.Op) {
+		return nil, false
+	}
+	return decodeBatch(req.Payload), true
+}

@@ -63,8 +63,12 @@ func decodeReq(b []byte) (uint64, *Request) {
 	return seq, req
 }
 
-// carriesPayload reports whether op's requests carry object bytes.
-func carriesPayload(op Op) bool { return op == OpWrite || op == opHotpotPrepare }
+// carriesPayload reports whether op's requests carry body bytes beyond the
+// header: object contents for writes, serialized constituent requests for
+// batch frames.
+func carriesPayload(op Op) bool {
+	return op == OpWrite || op == opHotpotPrepare || isBatchOp(op)
+}
 
 // reqWireBytes is the timed message size for a request.
 func reqWireBytes(req *Request) int {
@@ -359,7 +363,7 @@ func traditionalResponse(issued sim.Time, rm respMsg, k *sim.Kernel) *Response {
 	done.Complete(rm.at)
 	return &Response{
 		Data: rm.data, IssuedAt: issued, ReadyAt: rm.at,
-		DurableAt: rm.at, Done: done,
+		DurableAt: rm.at, Durable: done, Done: done,
 	}
 }
 

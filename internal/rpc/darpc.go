@@ -46,8 +46,8 @@ func (c *sendClient) startServerRecv() {
 			c.sq.PostRecv(rcv.Addr, c.cfg.SlotSize)
 			seq, req := decodeReq(rcv.Data)
 			var reqs []*Request
-			if req.Op == opBatch {
-				reqs = c.takeBatch(seq)
+			if isBatchOp(req.Op) {
+				reqs = c.batchReqs(seq, req)
 			}
 			c.srv.enqueue(workItem{req: req, reqs: reqs, respond: c.respondSend(seq, req)})
 		}
@@ -72,7 +72,7 @@ func (c *sendClient) Call(p *sim.Proc, req *Request) (*Response, error) {
 func (c *sendClient) CallBatch(p *sim.Proc, reqs []*Request) ([]*Response, error) {
 	issued := p.Now()
 	seq := c.nextSeq()
-	breq := c.stashBatch(seq, reqs)
+	breq, _ := c.stashBatch(seq, reqs)
 	f := c.await(seq)
 	c.cli.Post(p)
 	c.cq.SendAsync(reqWireBytes(breq), encodeReq(seq, breq))

@@ -139,20 +139,25 @@ func (c *durableClient) startLogRecv() {
 	})
 }
 
-// enqueueLogged dispatches a logged request to the worker pool; completion
-// consumes the log entry.
+// enqueueLogged dispatches a logged request to the worker pool; completing a
+// mutating request consumes its log entry. Non-mutating requests hold a
+// sequence number but no log entry (see Log.NextSeq), so there is nothing to
+// consume.
 func (c *durableClient) enqueueLogged(seq uint64, req *Request, respond func(*sim.Proc, []byte)) {
 	var reqs []*Request
-	if req.Op == opBatch {
-		reqs = c.takeBatch(seq)
+	if isBatchOp(req.Op) {
+		reqs = c.batchReqs(seq, req)
 	}
-	c.srv.enqueue(workItem{
-		req: req, reqs: reqs, respond: respond,
-		consume: func(at sim.Time) { c.log.Consume(at, seq) },
-	})
+	var consume func(at sim.Time)
+	if mutatingOp(req.Op) {
+		consume = func(at sim.Time) { c.log.Consume(at, seq) }
+	}
+	c.srv.enqueue(workItem{req: req, reqs: reqs, respond: respond, consume: consume})
 }
 
-// mutatingOp reports whether op needs a durability acknowledgement.
+// mutatingOp reports whether op needs a durability acknowledgement. A
+// read-only batch (opBatchRO) deliberately does not: it rides the same FIFO
+// channel but skips the flush machinery (§5.5).
 func mutatingOp(op Op) bool { return op == OpWrite || op == opBatch }
 
 // decodeEntry parses a redo-log entry image back into (seq, request).
@@ -165,11 +170,13 @@ func (c *durableClient) decodeEntry(b []byte) (uint64, *Request) {
 }
 
 // admit performs §4.2 back-pressure (throttle on outstanding, retry on a
-// full ring) and reserves a log slot. It aborts with ErrTimeout if the
-// connection is replaced (crash recovery) while the caller waits — a waiter
-// must not touch a log that is being recovered; it re-runs its reconnection
-// protocol instead.
-func (c *durableClient) admit(p *sim.Proc, n int) (uint64, int64, error) {
+// full ring) and allocates the request's sequence number — with a log slot
+// for mutating requests, without one otherwise (a reserved-but-never-written
+// slot would read as garbage to the recovery scan and truncate replay). It
+// aborts with ErrTimeout if the connection is replaced (crash recovery)
+// while the caller waits — a waiter must not touch a log that is being
+// recovered; it re-runs its reconnection protocol instead.
+func (c *durableClient) admit(p *sim.Proc, n int, mutating bool) (uint64, int64, error) {
 	myConn := c.conn
 	// stale reports conditions under which waiting is pointless: the
 	// connection was replaced under us, or the server crashed (outstanding
@@ -180,6 +187,9 @@ func (c *durableClient) admit(p *sim.Proc, n int) (uint64, int64, error) {
 		if stale() {
 			return 0, 0, ErrTimeout
 		}
+	}
+	if !mutating {
+		return c.log.NextSeq(), -1, nil
 	}
 	seq, addr, err := c.log.Reserve(n)
 	for err != nil {
@@ -199,15 +209,24 @@ func (c *durableClient) admit(p *sim.Proc, n int) (uint64, int64, error) {
 // portion of RDMA write operations" (§5.5) — read requests travel over the
 // same logged channel (FIFO ordering) but complete on their response, so
 // their durability future is just the transport acknowledgement.
+//
+// dispatch must not yield: ring order (assigned by Reserve) has to equal
+// wire-posting order. Callers pay the WQE-posting CPU cost before admit —
+// a sleep between Reserve and the NIC post would let a concurrent caller
+// invert the two orders, and the durable families depend on them agreeing:
+// the send-based kinds match pre-posted log-slot receive buffers to sends
+// in FIFO order, and the flush-ack horizon only covers entries that arrived
+// earlier. An entry landing in another request's slot — or acknowledged
+// ahead of a predecessor that is still in flight — loses acknowledged
+// writes when a crash hits (the crash-point sweep catches both).
 func (c *durableClient) dispatch(p *sim.Proc, seq uint64, addr int64, entryBytes int, image []byte, mutating bool) *sim.Future[sim.Time] {
 	// Non-mutating requests ride the DRAM message ring instead of the PM
 	// log: they keep FIFO order (same QP) but skip the persist machinery
-	// entirely. Their log reservation is consumed without ever being
-	// written — a read lost in a crash needs no recovery.
+	// entirely. They carry a sequence number but own no log bytes — a read
+	// lost in a crash needs no recovery.
 	if !mutating {
 		switch c.kind {
 		case WFlushRPC, WRFlushRPC:
-			c.cli.Post(p)
 			return c.cq.WriteAsync(c.reqSlot(seq), entryBytes, image)
 		default: // SFlushRPC, SRFlushRPC
 			if !nativeSFlush(c.kind, c.srv) {
@@ -215,17 +234,14 @@ func (c *durableClient) dispatch(p *sim.Proc, seq uint64, addr int64, entryBytes
 				// emulated modes post buffers per request.
 				c.sq.PostRecv(c.reqSlot(seq), entryBytes)
 			}
-			c.cli.Post(p)
 			return c.cq.SendAsync(entryBytes, image)
 		}
 	}
 	switch c.kind {
 	case WFlushRPC:
-		c.cli.Post(p)
 		return c.cq.WriteFlushAsync(addr, entryBytes, image)
 	case WRFlushRPC:
 		durF := c.cq.ExpectNotify(seq)
-		c.cli.Post(p)
 		c.cq.WriteAsync(addr, entryBytes, image)
 		return durF
 	case SFlushRPC:
@@ -235,14 +251,12 @@ func (c *durableClient) dispatch(p *sim.Proc, seq uint64, addr int64, entryBytes
 			// Emulated SFlush: the receive buffer IS the log slot.
 			c.sq.PostRecv(addr, entryBytes)
 		}
-		c.cli.Post(p)
 		return c.cq.SendFlushAsync(entryBytes, image)
 	default: // SRFlushRPC
 		// Receive buffers are log-resident PM slots; the NIC persists
 		// on placement and the server CPU notifies.
 		c.sq.PostRecv(addr, entryBytes)
 		durF := c.cq.ExpectNotify(seq)
-		c.cli.Post(p)
 		c.cq.SendAsync(entryBytes, image)
 		return durF
 	}
@@ -252,14 +266,16 @@ func (c *durableClient) dispatch(p *sim.Proc, seq uint64, addr int64, entryBytes
 // response future).
 func (c *durableClient) issue(p *sim.Proc, req *Request) (uint64, *sim.Future[sim.Time], *sim.Future[respMsg], error) {
 	n := reqWireBytes(req)
-	seq, addr, err := c.admit(p, n)
+	mutating := req.Op == OpWrite
+	c.cli.Post(p) // WQE-posting cost up front: dispatch must not yield
+	seq, addr, err := c.admit(p, n, mutating)
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	image := redolog.Encode(seq, byte(req.Op), n, encodeReq(seq, req))
 	entryBytes := int(redolog.EntrySize(n))
 	respF := c.await(seq)
-	durF := c.dispatch(p, seq, addr, entryBytes, image, req.Op == OpWrite)
+	durF := c.dispatch(p, seq, addr, entryBytes, image, mutating)
 	return seq, durF, respF, nil
 }
 
@@ -277,49 +293,54 @@ func (c *durableClient) Call(p *sim.Proc, req *Request) (*Response, error) {
 	if req.Op == OpWrite {
 		dur := durF.Wait(p)
 		return &Response{
-			IssuedAt: issued, ReadyAt: dur, DurableAt: dur, Done: done,
+			IssuedAt: issued, ReadyAt: dur, DurableAt: dur,
+			Durable: durF, Done: done,
 		}, nil
 	}
-	rm := respF.Wait(p)
-	dur := sim.Time(0)
-	if durF.Done() {
-		dur = durF.Value()
-	}
-	return &Response{
+	return readResponse(issued, respF.Wait(p), durF, done), nil
+}
+
+// readResponse assembles a durable-RPC read-path Response. The transport
+// acknowledgement can trail the response the server already sent, so the
+// future may be unresolved here; DurableAt is then backfilled when it
+// completes rather than returned as a misleading zero ("durable at t=0").
+func readResponse(issued sim.Time, rm respMsg, durF, done *sim.Future[sim.Time]) *Response {
+	resp := &Response{
 		Data: rm.data, IssuedAt: issued, ReadyAt: rm.at,
-		DurableAt: dur, Done: done,
-	}, nil
+		Durable: durF, Done: done,
+	}
+	if durF.Done() {
+		resp.DurableAt = durF.Value()
+	} else {
+		durF.Then(func(at sim.Time) { resp.DurableAt = at })
+	}
+	return resp
 }
 
 // CallBatch deposits a batch as one log entry with a single Flush (§4.3,
-// Fig. 6(b)): one large transfer, one durability acknowledgement.
+// Fig. 6(b)): one large transfer, one durability acknowledgement. A batch
+// with no writes skips the flush machinery entirely (§5.5) — its durability
+// future is just the transport acknowledgement.
 func (c *durableClient) CallBatch(p *sim.Proc, reqs []*Request) ([]*Response, error) {
 	issued := p.Now()
-	breq := &Request{Op: opBatch}
-	total := 0
-	for _, r := range reqs {
-		total += reqWireBytes(r)
-	}
-	breq.Size = total - reqHeaderBytes
+	breq, hasWrite := makeBatchFrame(reqs)
 	n := reqWireBytes(breq)
-	seq, addr, err := c.admit(p, n)
+	c.cli.Post(p) // WQE-posting cost up front: dispatch must not yield
+	seq, addr, err := c.admit(p, n, hasWrite)
 	if err != nil {
 		return nil, err
 	}
-	if c.batches == nil {
-		c.batches = make(map[uint64][]*Request)
-	}
-	c.batches[seq] = reqs
-	image := redolog.Encode(seq, byte(opBatch), n, encodeReq(seq, breq))
+	c.stashBatch(seq, reqs)
+	image := redolog.Encode(seq, byte(breq.Op), n, encodeReq(seq, breq))
 	entryBytes := int(redolog.EntrySize(n))
 	respF := c.await(seq)
-	durF := c.dispatch(p, seq, addr, entryBytes, image, true)
+	durF := c.dispatch(p, seq, addr, entryBytes, image, hasWrite)
 	done := sim.NewFuture[sim.Time](p.K)
 	respF.Then(func(rm respMsg) { done.Complete(rm.at) })
 	dur := durF.Wait(p)
 	out := make([]*Response, len(reqs))
 	for i := range reqs {
-		out[i] = &Response{IssuedAt: issued, ReadyAt: dur, DurableAt: dur, Done: done}
+		out[i] = &Response{IssuedAt: issued, ReadyAt: dur, DurableAt: dur, Durable: durF, Done: done}
 	}
 	return out, nil
 }

@@ -40,13 +40,13 @@ func (c *durableClient) CallTimeout(p *sim.Proc, req *Request, d time.Duration) 
 		if !ok {
 			return nil, ErrTimeout
 		}
-		return &Response{IssuedAt: issued, ReadyAt: dur, DurableAt: dur, Done: done}, nil
+		return &Response{IssuedAt: issued, ReadyAt: dur, DurableAt: dur, Durable: durF, Done: done}, nil
 	}
 	rm, ok := respF.WaitTimeout(p, d)
 	if !ok {
 		return nil, ErrTimeout
 	}
-	return &Response{Data: rm.data, IssuedAt: issued, ReadyAt: rm.at, Done: done}, nil
+	return readResponse(issued, rm, durF, done), nil
 }
 
 // Reestablish rebuilds the durable connection: fresh QPs and rings, redo-log

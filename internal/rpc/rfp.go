@@ -66,7 +66,7 @@ func (c *rfpClient) Call(p *sim.Proc, req *Request) (*Response, error) {
 			done.Complete(p.Now())
 			return &Response{
 				Data: data, IssuedAt: issued, ReadyAt: p.Now(),
-				DurableAt: p.Now(), Done: done,
+				DurableAt: p.Now(), Durable: done, Done: done,
 			}, nil
 		}
 	}

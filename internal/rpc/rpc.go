@@ -61,9 +61,17 @@ type Response struct {
 	// ReadyAt is when the sender could proceed: the quantity the paper's
 	// latency plots report.
 	ReadyAt sim.Time
-	// DurableAt is when the written data was persistent in the remote PM
-	// (zero when unknown to the sender — the traditional-RPC deficiency).
+	// DurableAt is when the written data was persistent in the remote PM.
+	// Zero means not yet known when the Response was assembled (on the
+	// durable-RPC read path the transport acknowledgement can trail the
+	// response); Durable backfills it on completion. For traditional RPCs
+	// it is the reply time — durability is simply whatever the reply
+	// implies, the deficiency the paper's durable RPCs fix.
 	DurableAt sim.Time
+	// Durable resolves when the request's durability (transport)
+	// acknowledgement arrives and backfills DurableAt. Traditional RPCs
+	// complete it at the reply.
+	Durable *sim.Future[sim.Time]
 	// Done resolves when the full RPC (processing included) finished;
 	// durable-RPC writes resolve it after Call returns.
 	Done *sim.Future[sim.Time]

@@ -487,3 +487,120 @@ func TestAllSystemsAllModes(t *testing.T) {
 		}
 	}
 }
+
+// A read-only batch must travel as opBatchRO: no flush acknowledgement, no
+// redo-log entry image persisted — only the ctrl words move (§5.5). A batch
+// holding even one write must engage the full durability machinery.
+func TestBatchMutatingDerivedFromContents(t *testing.T) {
+	for _, kind := range DurableKinds {
+		kind := kind
+		t.Run(kind.String()+"/read-only", func(t *testing.T) {
+			// Native flush mode so the flush-ack counter is live (the
+			// default emulates Flush with a read-after-write).
+			b := newBench(t, 256, nil, func(p *rnic.Params) { p.EmulateFlush = false })
+			c := b.client(kind).(BatchClient)
+			b.run(t, func(p *sim.Proc) {
+				// Populate so the batched reads hit real objects.
+				w, err := c.Call(p, &Request{Op: OpWrite, Key: 3, Size: 256, Payload: bytes.Repeat([]byte{0x11}, 256)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				w.Done.Wait(p)
+				acksBefore := b.srv.NIC.FlushAcks
+				persistBefore := b.srv.PM.PersistBytes
+				reqs := make([]*Request, 8)
+				for i := range reqs {
+					reqs[i] = &Request{Op: OpRead, Key: 3, Size: 256}
+				}
+				rs, err := c.CallBatch(p, reqs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rs[0].Done.Wait(p)
+				if got := b.srv.NIC.FlushAcks - acksBefore; got != 0 {
+					t.Errorf("read-only batch triggered %d flush acks", got)
+				}
+				// The frame (8 reads x 32B headers) must never reach PM;
+				// at most the log's 16B of ctrl words persist on consume.
+				frame, hasWrite := makeBatchFrame(reqs)
+				if hasWrite {
+					t.Fatal("all-read batch classified as mutating")
+				}
+				if frame.Op != opBatchRO {
+					t.Fatalf("all-read batch framed as %d", frame.Op)
+				}
+				if delta := b.srv.PM.PersistBytes - persistBefore; delta >= int64(reqWireBytes(frame)) {
+					t.Errorf("read-only batch persisted %d bytes to PM", delta)
+				}
+				if b.s.Store.Reads < 8 {
+					t.Errorf("only %d constituent reads applied", b.s.Store.Reads)
+				}
+			})
+		})
+		t.Run(kind.String()+"/mutating", func(t *testing.T) {
+			b := newBench(t, 256, nil, func(p *rnic.Params) { p.EmulateFlush = false })
+			c := b.client(kind).(BatchClient)
+			b.run(t, func(p *sim.Proc) {
+				acksBefore := b.srv.NIC.FlushAcks
+				reqs := make([]*Request, 8)
+				payloads := make([][]byte, 8)
+				for i := range reqs {
+					payloads[i] = bytes.Repeat([]byte{byte(0x20 + i)}, 256)
+					reqs[i] = &Request{Op: OpWrite, Key: uint64(10 + i), Size: 256, Payload: payloads[i]}
+				}
+				rs, err := c.CallBatch(p, reqs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range rs {
+					if r.DurableAt == 0 {
+						t.Fatal("mutating batch reported no durability")
+					}
+				}
+				switch kind {
+				case WFlushRPC, SFlushRPC:
+					if b.srv.NIC.FlushAcks == acksBefore {
+						t.Error("mutating batch produced no flush ack")
+					}
+				}
+				rs[0].Done.Wait(p)
+				for i, want := range payloads {
+					rd, err := c.Call(p, &Request{Op: OpRead, Key: uint64(10 + i), Size: 256, Payload: []byte{}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(rd.Data, want) {
+						t.Errorf("constituent write %d not applied", i)
+					}
+				}
+			})
+		})
+	}
+}
+
+// The batch frame body round-trips through decodeBatch losslessly — the
+// recovery path depends on it (the volatile stash dies with the client).
+func TestBatchFrameRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{Op: OpWrite, Key: 5, Size: 64, Payload: bytes.Repeat([]byte{0xA5}, 64)},
+		{Op: OpRead, Key: 9, Size: 128},
+		{Op: OpWrite, Key: 6, Size: 32, Payload: bytes.Repeat([]byte{0x5A}, 32)},
+	}
+	frame, hasWrite := makeBatchFrame(reqs)
+	if !hasWrite || frame.Op != opBatch {
+		t.Fatalf("frame op=%d hasWrite=%v", frame.Op, hasWrite)
+	}
+	got := decodeBatch(frame.Payload)
+	if len(got) != len(reqs) {
+		t.Fatalf("decoded %d of %d requests", len(got), len(reqs))
+	}
+	for i, r := range got {
+		want := reqs[i]
+		if r.Op != want.Op || r.Key != want.Key || r.Size != want.Size {
+			t.Errorf("req %d header mismatch: %+v vs %+v", i, r, want)
+		}
+		if want.Op == OpWrite && !bytes.Equal(r.Payload, want.Payload) {
+			t.Errorf("req %d payload mismatch", i)
+		}
+	}
+}

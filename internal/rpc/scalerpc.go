@@ -49,15 +49,15 @@ func (c *scaleClient) startPoller() {
 				b := c.sq.Read(p, c.stageBuf, req.Size)
 				seq, req = decodeReq(b)
 				var reqs []*Request
-				if req.Op == opBatch {
-					reqs = c.takeBatch(seq)
+				if isBatchOp(req.Op) {
+					reqs = c.batchReqs(seq, req)
 				}
 				c.srv.enqueue(workItem{req: req, reqs: reqs, respond: c.respondWrite(seq, req)})
 				continue
 			}
 			var reqs []*Request
-			if req.Op == opBatch {
-				reqs = c.takeBatch(seq)
+			if isBatchOp(req.Op) {
+				reqs = c.batchReqs(seq, req)
 			}
 			c.srv.enqueue(workItem{req: req, reqs: reqs, respond: c.respondWrite(seq, req)})
 		}
@@ -93,7 +93,7 @@ func (c *scaleClient) Call(p *sim.Proc, req *Request) (*Response, error) {
 func (c *scaleClient) CallBatch(p *sim.Proc, reqs []*Request) ([]*Response, error) {
 	issued := p.Now()
 	seq := c.nextSeq()
-	breq := c.stashBatch(seq, reqs)
+	breq, _ := c.stashBatch(seq, reqs)
 	f := c.await(seq)
 	c.cli.Post(p)
 	c.calls++

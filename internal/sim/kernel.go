@@ -137,6 +137,11 @@ type Kernel struct {
 	// parked in the heap awaiting lazy deletion.
 	free []*event
 	dead int
+	// fired counts executed (non-canceled) events since New. Crash-point
+	// sweeps use it as a stable coordinate: with identical inputs the i-th
+	// fired event is the same across runs, so "crash after event i" is a
+	// deterministic, enumerable injection point.
+	fired uint64
 
 	// handoff channel used by procs to return control to the kernel.
 	handoff chan struct{}
@@ -160,6 +165,9 @@ func (k *Kernel) Pending() int { return len(k.events) - k.dead }
 
 // Procs reports the number of live procs.
 func (k *Kernel) Procs() int { return k.procs }
+
+// Fired reports how many events have executed since New.
+func (k *Kernel) Fired() uint64 { return k.fired }
 
 // schedule books fn at time t, drawing the event from the free list.
 func (k *Kernel) scheduleEvent(t Time, fn func()) *event {
@@ -271,8 +279,36 @@ func (k *Kernel) RunUntil(deadline Time) {
 		fn := ev.fn
 		// Recycle before firing so fn can schedule onto the freed slot.
 		k.recycle(ev)
+		k.fired++
 		fn()
 	}
+}
+
+// RunEvents executes at most n live events and reports how many ran (fewer
+// only when the queue empties first). It stops the world at an exact event
+// boundary: the crashcheck harness steps to event i, injects a crash from
+// outside the event loop, and resumes with Run.
+func (k *Kernel) RunEvents(n uint64) uint64 {
+	k.stopped = false
+	var ran uint64
+	for ran < n && len(k.events) > 0 && !k.stopped {
+		ev := k.events.pop()
+		if ev.canceled {
+			k.dead--
+			k.recycle(ev)
+			continue
+		}
+		if ev.at < k.now {
+			panic("sim: event queue went backwards")
+		}
+		k.now = ev.at
+		fn := ev.fn
+		k.recycle(ev)
+		k.fired++
+		ran++
+		fn()
+	}
+	return ran
 }
 
 // Stop makes Run/RunUntil return after the current event completes.
