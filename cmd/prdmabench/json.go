@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// runTiming is one -json record: how long a figure/table/ablation took on
+// the wall clock and how that divides over the simulated operations its
+// cells completed. Figures without a counted op stream (PageRank, the
+// recovery sweep, …) report sim_ops 0 and omit the per-op rate.
+type runTiming struct {
+	Name       string  `json:"name"`
+	WallMS     float64 `json:"wall_ms"`
+	SimOps     int64   `json:"sim_ops"`
+	NsPerSimOp float64 `json:"ns_per_sim_op,omitempty"`
+}
+
+func newRunTiming(name string, wall time.Duration, ops int64) runTiming {
+	t := runTiming{Name: name, WallMS: float64(wall.Nanoseconds()) / 1e6, SimOps: ops}
+	if ops > 0 {
+		t.NsPerSimOp = float64(wall.Nanoseconds()) / float64(ops)
+	}
+	return t
+}
+
+// timingReport is the top-level -json document.
+type timingReport struct {
+	Scale       string      `json:"scale"`
+	GoMaxProcs  int         `json:"gomaxprocs"`
+	TotalWallMS float64     `json:"total_wall_ms"`
+	Runs        []runTiming `json:"runs"`
+}
+
+func writeTimings(path, scale string, runs []runTiming) error {
+	rep := timingReport{Scale: scale, GoMaxProcs: runtime.GOMAXPROCS(0), Runs: runs}
+	for _, r := range runs {
+		rep.TotalWallMS += r.WallMS
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// writeHeapProfile records the live heap at end of run (-memprofile),
+// running a GC first so the profile reflects retained memory, not garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}

@@ -41,6 +41,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	parallel := flag.Int("parallel", -1, "concurrent experiment cells per figure (1 = sequential, -1 = one per CPU); tables are identical at any setting")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+	jsonOut := flag.String("json", "", "write per-figure wall times and ns-per-simulated-op to this JSON file")
 	ccheck := flag.Bool("crashcheck", false, "sweep crash points over the durable-RPC recovery path and check invariants")
 	family := flag.String("family", "", "crashcheck: restrict to one RPC family (substring, e.g. WFlush or S-RFlush)")
 	mix := flag.String("mix", "", "crashcheck: restrict to one traffic mix (writes|readwrite|batch)")
@@ -74,6 +76,13 @@ func main() {
 			ackBug:   *ackbug,
 			objSize:  *objsize,
 		})
+		// Reached only on a clean sweep (violations exit nonzero above).
+		if *memprofile != "" {
+			if err := writeHeapProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 
@@ -95,8 +104,10 @@ func main() {
 	o.Seed = *seed
 	o.Parallel = *parallel
 
+	var timings []runTiming
 	run := func(name string, fn func() []bench.Table) {
 		start := time.Now()
+		opsBefore := bench.SimOps()
 		for _, t := range fn() {
 			if *csv {
 				fmt.Printf("# %s\n", t.Title)
@@ -109,7 +120,9 @@ func main() {
 				t.Fprint(os.Stdout)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		timings = append(timings, newRunTiming(name, wall, bench.SimOps()-opsBefore))
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, wall.Round(time.Millisecond))
 	}
 	one := func(fn func() bench.Table) func() []bench.Table {
 		return func() []bench.Table { return []bench.Table{fn()} }
@@ -183,5 +196,17 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		if err := writeTimings(*jsonOut, *scale, timings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *memprofile != "" {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

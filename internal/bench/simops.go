@@ -1,0 +1,17 @@
+package bench
+
+import "sync/atomic"
+
+// simOps counts simulated RPC operations completed by micro-benchmark-style
+// cells. cmd/prdmabench samples it around each figure to report wall-clock
+// nanoseconds per simulated operation (-json). Figures whose drivers do not
+// run a counted op stream (PageRank, recovery sweeps, …) contribute zero;
+// the harness reports only wall time for those.
+var simOps int64
+
+// AddSimOps records n completed simulated operations. Cells run on a worker
+// pool, hence the atomic.
+func AddSimOps(n int64) { atomic.AddInt64(&simOps, n) }
+
+// SimOps returns the simulated operations completed so far.
+func SimOps() int64 { return atomic.LoadInt64(&simOps) }

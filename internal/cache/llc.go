@@ -79,7 +79,15 @@ func (c *LLC) InstallDirty(addr int64, n int, data []byte) {
 // Read returns the bytes of [addr, addr+n) as the CPU (or a DDIO-served
 // RDMA read) would see them: dirty cache lines take precedence over PM.
 func (c *LLC) Read(addr int64, n int) []byte {
-	out := c.PM.ReadBytes(addr, n)
+	return c.ReadInto(addr, make([]byte, n))
+}
+
+// ReadInto fills dst with the bytes of [addr, addr+len(dst)) — PM contents
+// overlaid with dirty cache lines — and returns dst. The alloc-free Read
+// for hot paths that reuse a scratch buffer.
+func (c *LLC) ReadInto(addr int64, dst []byte) []byte {
+	n := len(dst)
+	c.PM.ReadBytesInto(addr, dst)
 	end := addr + int64(n)
 	for a := alignDown(addr); a < end; a += LineSize {
 		line, ok := c.dirty[a]
@@ -88,9 +96,9 @@ func (c *LLC) Read(addr int64, n int) []byte {
 		}
 		lo := max64(a, addr)
 		hi := min64(a+LineSize, end)
-		copy(out[lo-addr:hi-addr], line[lo-a:hi-a])
+		copy(dst[lo-addr:hi-addr], line[lo-a:hi-a])
 	}
-	return out
+	return dst
 }
 
 // DirtyIn reports whether any line of [addr, addr+n) is dirty (volatile).

@@ -37,7 +37,14 @@ func (m *Memory) Write(addr int64, b []byte) {
 
 // Read returns n bytes at addr; unwritten bytes read as zero.
 func (m *Memory) Read(addr int64, n int) []byte {
-	out := make([]byte, n)
+	return m.ReadInto(addr, make([]byte, n))
+}
+
+// ReadInto fills dst with the bytes at [addr, addr+len(dst)) and returns
+// dst; unwritten bytes read as zero. The alloc-free Read for hot paths that
+// reuse a scratch buffer.
+func (m *Memory) ReadInto(addr int64, dst []byte) []byte {
+	n := len(dst)
 	o := 0
 	for o < n {
 		page := (addr + int64(o)) / pageSize
@@ -47,11 +54,16 @@ func (m *Memory) Read(addr int64, n int) []byte {
 			cnt = n - o
 		}
 		if pg, ok := m.pages[page]; ok {
-			copy(out[o:o+cnt], pg[off:off+cnt])
+			copy(dst[o:o+cnt], pg[off:off+cnt])
+		} else {
+			seg := dst[o : o+cnt]
+			for i := range seg {
+				seg[i] = 0
+			}
 		}
 		o += cnt
 	}
-	return out
+	return dst
 }
 
 // Crash discards all contents: DRAM is volatile.

@@ -19,6 +19,7 @@
 package pmem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -99,11 +100,105 @@ type Device struct {
 	// crash times inside these windows to exercise partial application.
 	inflight []TornWindow
 
+	// chunkFree pools chunk appliers: the persist path schedules up to
+	// tornChunks content applications per write, and pooling their closures
+	// keeps the data plane alloc-free (same pattern as the kernel's event
+	// free list). Single-threaded per kernel, so no sync.
+	chunkFree []*chunkApply
+
 	// Stats.
 	PersistOps   int64
 	PersistBytes int64
 	ReadOps      int64
 	TornWrites   int64
+	// SparseSkippedBytes counts bytes that were timed but never
+	// materialized because they fell in a segment gap (redo-log entry
+	// padding, SparsePayload flyweight bodies).
+	SparseSkippedBytes int64
+}
+
+// chunkApply is one pooled, pre-bound application of a torn chunk. The
+// persist path fills in the segment views and schedules fn; run returns the
+// applier to the device pool before touching media so a chunk firing can
+// immediately be reused by the next persist. Segments of at most
+// stageBytes are staged into the applier's inline buffer, letting callers
+// reuse small header/commit scratch buffers as soon as the persist call
+// returns; larger segments are aliased and must stay untouched until the
+// persist completes.
+type chunkApply struct {
+	d                *Device
+	epoch            int
+	addr             int64 // media address of this chunk
+	head, body, tail []byte
+	off, sz, n       int // chunk range and logical image size
+	stage            [stageBytes]byte
+	tbuf             [AtomicUnit]byte
+	fn               func()
+}
+
+// stageBytes is the inline staging capacity for head segments (enough for a
+// redo-log entry header and then some).
+const stageBytes = 24
+
+func (d *Device) newChunk() *chunkApply {
+	if n := len(d.chunkFree); n > 0 {
+		c := d.chunkFree[n-1]
+		d.chunkFree = d.chunkFree[:n-1]
+		return c
+	}
+	c := &chunkApply{d: d}
+	c.fn = func() { c.run() }
+	return c
+}
+
+func (c *chunkApply) run() {
+	d := c.d
+	epoch, addr := c.epoch, c.addr
+	head, body, tail := c.head, c.body, c.tail
+	off, sz, n := c.off, c.sz, c.n
+	c.head, c.body, c.tail = nil, nil, nil
+	d.chunkFree = append(d.chunkFree, c)
+	if d.epoch != epoch {
+		return // lost in a crash
+	}
+	d.applySegs(addr, off, sz, n, head, body, tail)
+}
+
+// applySegs materializes the bytes of logical range [off, off+sz) of an
+// n-byte image whose contents are head ++ body ++ zero-gap ++ tail (the
+// tail ending at offset n), starting at media address addr. Bytes outside
+// the segments are never written; unwritten media reads as zero.
+func (d *Device) applySegs(addr int64, off, sz, n int, head, body, tail []byte) {
+	if off < len(head) {
+		hi := off + sz
+		if hi > len(head) {
+			hi = len(head)
+		}
+		d.write(addr, head[off:hi])
+	}
+	if len(body) > 0 {
+		lo, hi := off, off+sz
+		blo, bhi := len(head), len(head)+len(body)
+		if lo < blo {
+			lo = blo
+		}
+		if hi > bhi {
+			hi = bhi
+		}
+		if lo < hi {
+			d.write(addr+int64(lo-off), body[lo-blo:hi-blo])
+		}
+	}
+	if len(tail) > 0 {
+		lo, hi := off, off+sz
+		tlo := n - len(tail)
+		if lo < tlo {
+			lo = tlo
+		}
+		if lo < hi {
+			d.write(addr+int64(lo-off), tail[lo-tlo:hi-tlo])
+		}
+	}
 }
 
 // New returns a device bound to kernel k.
@@ -156,8 +251,43 @@ func (d *Device) PersistCost(n int, path Path) time.Duration {
 // so a crash mid-persist leaves a prefix durable. Writes of AtomicUnit bytes
 // or less are applied in a single step (failure-atomic).
 func (d *Device) Persist(at sim.Time, addr int64, n int, data []byte, path Path) sim.Time {
-	if len(data) > n {
-		panic(fmt.Sprintf("pmem: len(data)=%d > n=%d", len(data), n))
+	return d.PersistSegs(at, addr, n, data, nil, nil, path)
+}
+
+// PersistParts persists head ++ body as one n-byte write without the caller
+// staging a joined copy: the redo log uses it to persist an entry header and
+// the payload bytes taken directly from the wire buffer. Timing, queueing
+// and torn-write semantics are identical to Persist of the joined image.
+// Bytes beyond the segments (entry padding) are timed but never written, so
+// they read back as zero — exactly what a freshly-zeroed joined image would
+// have left. body must stay untouched until the returned completion time;
+// heads of at most stageBytes are staged and may be reused immediately.
+func (d *Device) PersistParts(at sim.Time, addr int64, n int, head, body []byte, path Path) sim.Time {
+	return d.PersistSegs(at, addr, n, head, body, nil, path)
+}
+
+// PersistTail persists head at the start and tail at the very end of the
+// n-byte range, leaving the gap unmaterialized: it is timed (and may tear)
+// like any n-byte write, but its bytes are never written and read back as
+// zero. This is the SparsePayload append path: a log entry whose payload is
+// a flyweight persists only its header prefix and commit trailer. Tails of
+// at most AtomicUnit bytes are staged; larger heads/tails alias the caller's
+// buffer until completion.
+func (d *Device) PersistTail(at sim.Time, addr int64, n int, head, tail []byte, path Path) sim.Time {
+	return d.PersistSegs(at, addr, n, head, nil, tail, path)
+}
+
+// PersistSegs is the shared persist core: contents are the concatenation
+// head ++ body ++ unmaterialized-gap ++ tail with the tail ending at offset
+// n. A nil head with nil body and tail is timing-only traffic (no content
+// events at all, as before). Gap bytes are timed but never written; on
+// reused ring space they keep whatever the previous lap left, which is safe
+// exactly when no reader addresses them (redo-log entry padding, flyweight
+// payload bodies).
+func (d *Device) PersistSegs(at sim.Time, addr int64, n int, head, body, tail []byte, path Path) sim.Time {
+	content := len(head) + len(body) + len(tail)
+	if content > n {
+		panic(fmt.Sprintf("pmem: content %d > n=%d", content, n))
 	}
 	if n < 0 {
 		panic("pmem: negative persist size")
@@ -173,10 +303,13 @@ func (d *Device) Persist(at sim.Time, addr int64, n int, data []byte, path Path)
 	end := ch.ReserveAt(at, service)
 
 	epoch := d.epoch
-	if data == nil {
+	if head == nil && body == nil && tail == nil {
 		return end
 	}
-	// Apply data in chunks spread across [start, end].
+	if tail != nil {
+		d.SparseSkippedBytes += int64(n - content)
+	}
+	// Apply contents in chunks spread across [start, end].
 	chunks := tornChunks
 	if n <= AtomicUnit || n < chunks {
 		chunks = 1
@@ -194,22 +327,46 @@ func (d *Device) Persist(at sim.Time, addr int64, n int, data []byte, path Path)
 		}
 		frac := float64(i+1) / float64(chunks)
 		when := start.Add(time.Duration(float64(end.Sub(start)) * frac))
-		cAddr, cOff, cSz := addr+int64(off), off, sz
-		d.K.Schedule(when, func() {
-			if d.epoch != epoch {
-				return // lost in a crash
-			}
-			if cOff >= len(data) {
-				return // synthetic tail: timed but contentless
-			}
-			hi := cOff + cSz
-			if hi > len(data) {
-				hi = len(data)
-			}
-			d.write(cAddr, data[cOff:hi])
-		})
+		c := d.newChunk()
+		c.epoch, c.addr = epoch, addr+int64(off)
+		c.head, c.body, c.tail = head, body, tail
+		c.off, c.sz, c.n = off, sz, n
+		if len(head) > 0 && len(head) <= stageBytes {
+			c.head = c.stage[:copy(c.stage[:], head)]
+		}
+		if len(tail) > 0 && len(tail) <= AtomicUnit {
+			c.tbuf = [AtomicUnit]byte{}
+			c.tail = c.tbuf[:copy(c.tbuf[:], tail)]
+		}
+		d.K.Schedule(when, c.fn)
 		off += sz
 	}
+	return end
+}
+
+// PersistWord persists one failure-atomic 8-byte little-endian word. It is
+// Persist of an 8-byte buffer without the caller allocating one whose
+// lifetime must span the persist — the redo log's control-pointer updates
+// use it. Timing is identical to an 8-byte Persist.
+func (d *Device) PersistWord(at sim.Time, addr int64, v uint64, path Path) sim.Time {
+	d.PersistOps++
+	d.PersistBytes += AtomicUnit
+	service := d.PersistCost(AtomicUnit, path)
+	ch := d.channel(addr)
+	start := at
+	if nf := ch.NextFree(); nf > start {
+		start = nf
+	}
+	end := ch.ReserveAt(at, service)
+	// One atomic chunk, applied at the end of the service interval (the
+	// single-chunk schedule of persist3, with the word staged inline).
+	when := start.Add(time.Duration(float64(end.Sub(start))))
+	c := d.newChunk()
+	c.epoch, c.addr = d.epoch, addr
+	binary.LittleEndian.PutUint64(c.stage[:], v)
+	c.head, c.body, c.tail = c.stage[:AtomicUnit], nil, nil
+	c.off, c.sz, c.n = 0, AtomicUnit, AtomicUnit
+	d.K.Schedule(when, c.fn)
 	return end
 }
 
@@ -262,9 +419,16 @@ func (d *Device) Read(at sim.Time, addr int64, n int) sim.Time {
 // ReadSync reads n bytes at addr, blocking p for the media latency, and
 // returns the durable contents.
 func (d *Device) ReadSync(p *sim.Proc, addr int64, n int) []byte {
-	end := d.Read(p.K.Now(), addr, n)
+	return d.ReadSyncInto(p, addr, make([]byte, n))
+}
+
+// ReadSyncInto reads len(dst) bytes at addr into dst, blocking p for the
+// media latency, and returns dst. The alloc-free ReadSync for callers that
+// reuse a scratch buffer (recovery header/commit probes).
+func (d *Device) ReadSyncInto(p *sim.Proc, addr int64, dst []byte) []byte {
+	end := d.Read(p.K.Now(), addr, len(dst))
 	p.Sleep(end.Sub(p.K.Now()))
-	return d.ReadBytes(addr, n)
+	return d.ReadBytesInto(addr, dst)
 }
 
 // write applies bytes to the media immediately (no timing). Exported as
@@ -296,7 +460,14 @@ func (d *Device) WriteRaw(addr int64, b []byte) { d.write(addr, b) }
 // ReadBytes returns the current durable contents of [addr, addr+n).
 // Unwritten bytes read as zero.
 func (d *Device) ReadBytes(addr int64, n int) []byte {
-	out := make([]byte, n)
+	return d.ReadBytesInto(addr, make([]byte, n))
+}
+
+// ReadBytesInto fills dst with the current durable contents of
+// [addr, addr+len(dst)) and returns dst. Unwritten bytes read as zero. It
+// is the alloc-free ReadBytes: callers on hot paths reuse a scratch buffer.
+func (d *Device) ReadBytesInto(addr int64, dst []byte) []byte {
+	n := len(dst)
 	o := 0
 	for o < n {
 		page := (addr + int64(o)) / PageSize
@@ -306,11 +477,16 @@ func (d *Device) ReadBytes(addr int64, n int) []byte {
 			cnt = n - o
 		}
 		if pg, ok := d.pages[page]; ok {
-			copy(out[o:o+cnt], pg[off:off+cnt])
+			copy(dst[o:o+cnt], pg[off:off+cnt])
+		} else {
+			seg := dst[o : o+cnt]
+			for i := range seg {
+				seg[i] = 0
+			}
 		}
 		o += cnt
 	}
-	return out
+	return dst
 }
 
 // Crash models a power failure: every in-flight persist is aborted (its

@@ -1,0 +1,70 @@
+package pmem
+
+// SparsePayload is a flyweight description of a uniform-fill payload: the
+// fill byte, the length, and a checksum of the materialized bytes. The RPC
+// data plane uses it (opt in, off by default) to ship and persist large
+// uniform payloads without materializing them: the wire carries the entry
+// header and commit trailer, the device persists them via PersistTail, and
+// the gap reads back as the fill. It is only legal for payloads that are
+// uniformly the fill byte — callers must check Uniform first.
+type SparsePayload struct {
+	Fill byte
+	Len  int
+	Sum  uint64
+}
+
+// FNV-64a, the same parameters as hash/fnv (inlined so describing a payload
+// stays alloc-free).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Describe returns the flyweight for b, checksumming its contents. The
+// caller asserts (via Uniform) that b is uniform; Describe records b[0] as
+// the fill so Matches can detect misuse.
+func Describe(b []byte) SparsePayload {
+	s := SparsePayload{Len: len(b)}
+	if len(b) > 0 {
+		s.Fill = b[0]
+	}
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	s.Sum = h
+	return s
+}
+
+// Uniform reports whether every byte of b equals fill.
+func Uniform(b []byte, fill byte) bool {
+	for _, c := range b {
+		if c != fill {
+			return false
+		}
+	}
+	return true
+}
+
+// Materialize writes the payload bytes into dst (which must be at least Len
+// bytes long).
+func (s SparsePayload) Materialize(dst []byte) {
+	for i := 0; i < s.Len; i++ {
+		dst[i] = s.Fill
+	}
+}
+
+// Matches reports whether b is exactly the payload s describes, verified
+// against the checksum.
+func (s SparsePayload) Matches(b []byte) bool {
+	if len(b) != s.Len {
+		return false
+	}
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h == s.Sum
+}

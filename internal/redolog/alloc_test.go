@@ -1,0 +1,42 @@
+package redolog
+
+import (
+	"testing"
+
+	"prdma/internal/pmem"
+	"prdma/internal/sim"
+)
+
+// TestAppendConsumeAllocRegression pins the steady-state allocation cost of
+// the log's hot path: one NIC append (header + payload + commit persists)
+// plus the matching consume. The entry's control-word persist completes
+// through pooled persist jobs and the log's own scratch buffers, so the
+// remaining allocations are the completion future AppendNIC hands back and
+// the event it resolves through.
+func TestAppendConsumeAllocRegression(t *testing.T) {
+	k := sim.New()
+	pm := pmem.New(k, pmem.DefaultParams())
+	l := New(k, pm, 0, 64<<20)
+	payload := make([]byte, 1024)
+
+	cycle := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			seq, done, err := l.AppendNIC(k.Now(), 1, len(payload), payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k.RunUntil(done)
+			l.Consume(k.Now(), seq)
+			k.Run()
+		}
+	}
+	cycle(64) // warm the device's persist-job pools and the event heap
+
+	const rounds = 100
+	per := testing.AllocsPerRun(5, func() { cycle(rounds) }) / rounds
+	// Expected: 3 allocations per append+consume — the done future, its
+	// completion event, and the future's waiter list. The seed tree spent 16.
+	if per > 4 {
+		t.Fatalf("append+consume allocates %.2f objects/op, want <= 4", per)
+	}
+}

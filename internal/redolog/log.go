@@ -75,27 +75,57 @@ type Entry struct {
 	Addr int64
 }
 
+// PutHeader writes the 16-byte entry header (seq, op|len) into b.
+func PutHeader(b []byte, seq uint64, op byte, n int) {
+	binary.LittleEndian.PutUint64(b[0:], seq)
+	binary.LittleEndian.PutUint64(b[8:], uint64(op)<<56|uint64(uint32(n)))
+}
+
+// Commit returns the 8-byte commit word of an entry.
+func Commit(seq uint64, op byte, n int) uint64 {
+	oplen := uint64(op)<<56 | uint64(uint32(n))
+	return commitMagic ^ seq ^ oplen
+}
+
+// PutCommit writes the commit word into b (8 bytes).
+func PutCommit(b []byte, seq uint64, op byte, n int) {
+	binary.LittleEndian.PutUint64(b, Commit(seq, op, n))
+}
+
 // Encode builds the on-PM image of an entry. When payload is nil or shorter
 // than n (synthetic benchmark traffic with a real header prefix), only the
 // available bytes are materialized; the commit word is then never durable
 // and such entries are — by design — not recoverable.
 func Encode(seq uint64, op byte, n int, payload []byte) []byte {
-	oplen := uint64(op)<<56 | uint64(uint32(n))
 	if len(payload) < n {
-		b := make([]byte, HeaderBytes+len(payload))
-		binary.LittleEndian.PutUint64(b[0:], seq)
-		binary.LittleEndian.PutUint64(b[8:], oplen)
-		copy(b[HeaderBytes:], payload)
+		return EncodeInto(make([]byte, HeaderBytes+len(payload)), seq, op, n, payload)
+	}
+	return EncodeInto(make([]byte, EntrySize(n)), seq, op, n, payload)
+}
+
+// EncodeInto encodes the entry image into b, which must be exactly
+// EntrySize(n) bytes (full entry) or HeaderBytes+len(payload) bytes
+// (synthetic short image), and returns b. Padding bytes are zeroed so a
+// reused scratch buffer yields the same image a fresh allocation would.
+func EncodeInto(b []byte, seq uint64, op byte, n int, payload []byte) []byte {
+	PutHeader(b, seq, op, n)
+	copy(b[HeaderBytes:], payload)
+	if len(payload) < n {
+		if len(b) != HeaderBytes+len(payload) {
+			panic(fmt.Sprintf("redolog: short image buffer %d != %d", len(b), HeaderBytes+len(payload)))
+		}
 		return b
 	}
 	if len(payload) != n {
 		panic(fmt.Sprintf("redolog: payload %d != n %d", len(payload), n))
 	}
-	b := make([]byte, EntrySize(n))
-	binary.LittleEndian.PutUint64(b[0:], seq)
-	binary.LittleEndian.PutUint64(b[8:], oplen)
-	copy(b[HeaderBytes:], payload)
-	binary.LittleEndian.PutUint64(b[len(b)-8:], commitMagic^seq^oplen)
+	if len(b) != int(EntrySize(n)) {
+		panic(fmt.Sprintf("redolog: image buffer %d != entry size %d", len(b), EntrySize(n)))
+	}
+	for i := HeaderBytes + n; i < len(b)-CommitBytes; i++ {
+		b[i] = 0
+	}
+	PutCommit(b[len(b)-CommitBytes:], seq, op, n)
 	return b
 }
 
@@ -154,6 +184,13 @@ type Log struct {
 	Appends   int64
 	Consumes  int64
 	Recovered int64
+
+	// Scratch buffers for the alloc-free append and recovery-probe paths.
+	// Heads and commit words are staged by the device at schedule time, so
+	// these are reusable as soon as the persist call returns.
+	hdr  [HeaderBytes]byte
+	cmt  [CommitBytes]byte
+	ctrl [ctrlBytes]byte
 }
 
 // New manages a ring over [base, base+size) of pm.
@@ -240,28 +277,48 @@ func (l *Log) Reserve(n int) (uint64, int64, error) {
 
 // AppendNIC reserves space and persists a fully formed entry over the DMA
 // path starting at time at, returning (seq, durable-completion time). This
-// is the WFlush/SFlush ingestion path: no CPU involved.
+// is the WFlush/SFlush ingestion path: no CPU involved. The entry is
+// persisted as three segments — header scratch, payload taken directly from
+// the caller's (wire) buffer, commit scratch — so no joined image is ever
+// staged; payload must stay untouched until the returned completion time.
 func (l *Log) AppendNIC(at sim.Time, op byte, n int, payload []byte) (uint64, sim.Time, error) {
 	seq, addr, err := l.Reserve(n)
 	if err != nil {
 		return 0, 0, err
 	}
-	img := Encode(seq, op, n, payload)
-	done := l.PM.Persist(at, addr, int(EntrySize(n)), img, pmem.DMA)
+	done := l.persistEntry(at, addr, seq, op, n, payload, pmem.DMA)
 	return seq, done, nil
 }
 
 // AppendCPU persists an entry over the CPU path, blocking p until durable.
 // This is the RFlush ingestion path: the receiver CPU copies the payload
-// from the message buffer into the log and flushes it.
+// from the message buffer into the log and flushes it. The same zero-copy
+// segment persist as AppendNIC; payload must stay untouched until the
+// append is durable (the call blocks that long, so callers rarely care).
 func (l *Log) AppendCPU(p *sim.Proc, op byte, n int, payload []byte) (uint64, int64, error) {
 	seq, addr, err := l.Reserve(n)
 	if err != nil {
 		return 0, 0, err
 	}
-	img := Encode(seq, op, n, payload)
-	l.PM.PersistSync(p, addr, int(EntrySize(n)), img, pmem.CPU)
+	done := l.persistEntry(p.K.Now(), addr, seq, op, n, payload, pmem.CPU)
+	p.Sleep(done.Sub(p.K.Now()))
 	return seq, addr, nil
+}
+
+// persistEntry issues the segmented persist of one entry image. A payload
+// shorter than n (synthetic benchmark traffic) materializes only the header
+// and available bytes — no commit word — matching Encode's short image.
+func (l *Log) persistEntry(at sim.Time, addr int64, seq uint64, op byte, n int, payload []byte, path pmem.Path) sim.Time {
+	if len(payload) > n {
+		panic(fmt.Sprintf("redolog: payload %d != n %d", len(payload), n))
+	}
+	foot := int(EntrySize(n))
+	PutHeader(l.hdr[:], seq, op, n)
+	if len(payload) < n {
+		return l.PM.PersistParts(at, addr, foot, l.hdr[:], payload, path)
+	}
+	PutCommit(l.cmt[:], seq, op, n)
+	return l.PM.PersistSegs(at, addr, foot, l.hdr[:], payload, l.cmt[:], path)
 }
 
 // Consume marks seq processed. Space is reclaimed — and the durable head
@@ -316,12 +373,8 @@ func (l *Log) persistCtrl(at sim.Time) sim.Time {
 	}
 	// Two atomic 8-byte persists; each may individually lag after a crash,
 	// which recovery tolerates (at-least-once replay).
-	b := make([]byte, 8)
-	binary.LittleEndian.PutUint64(b, uint64(headOff))
-	t1 := l.PM.Persist(at, l.base, 8, b, pmem.CPU)
-	f := make([]byte, 8)
-	binary.LittleEndian.PutUint64(f, floor)
-	t2 := l.PM.Persist(at, l.base+8, 8, f, pmem.CPU)
+	t1 := l.PM.PersistWord(at, l.base, uint64(headOff), pmem.CPU)
+	t2 := l.PM.PersistWord(at, l.base+8, floor, pmem.CPU)
 	if t1 > t2 {
 		t2 = t1
 	}
@@ -364,7 +417,7 @@ type RecoverInfo struct {
 // control checkpoint so a subsequent crash rescans from an exact frontier.
 // p pays media-read latency for the scan and the checkpoint persist.
 func (l *Log) Recover(p *sim.Proc) []Entry {
-	ctrl := l.PM.ReadSync(p, l.base, ctrlBytes)
+	ctrl := l.PM.ReadSyncInto(p, l.base, l.ctrl[:])
 	headOff := int64(binary.LittleEndian.Uint64(ctrl[0:]))
 	floor := binary.LittleEndian.Uint64(ctrl[8:])
 	if floor == 0 {
@@ -405,14 +458,14 @@ func (l *Log) Recover(p *sim.Proc) []Entry {
 			wrapTo0()
 			continue
 		}
-		hb := l.PM.ReadSync(p, l.lo+off, HeaderBytes)
+		hb := l.PM.ReadSyncInto(p, l.lo+off, l.hdr[:])
 		seq := binary.LittleEndian.Uint64(hb[0:])
 		oplen := binary.LittleEndian.Uint64(hb[8:])
 		n := int(uint32(oplen))
 		foot := EntrySize(n)
 		valid := seq != 0 && foot <= l.size-off
 		if valid {
-			cb := l.PM.ReadSync(p, l.lo+off+foot-8, 8)
+			cb := l.PM.ReadSyncInto(p, l.lo+off+foot-8, l.cmt[:])
 			valid = binary.LittleEndian.Uint64(cb) == commitMagic^seq^oplen
 		}
 		if !valid {

@@ -33,6 +33,16 @@ type NIC struct {
 
 	mrs []MR
 
+	// Free lists for the data plane: wire messages, WQE-processing thunks,
+	// inbound-processing thunks, and retransmit timers. All pre-bind their
+	// event closure once, so the steady-state send/receive path allocates
+	// nothing. Single-threaded per kernel, so no sync.
+	wmFree    []*wireMsg
+	txFree    []*txJob
+	rxFree    []*rxJob
+	retryFree []*retryJob
+	jobFree   []*nicJob
+
 	// epoch invalidates in-flight receive-side work on crash (the data in
 	// the NIC's volatile SRAM and its pending DMA chain is lost).
 	epoch int
@@ -143,6 +153,8 @@ func (n *NIC) CreateQP(t Transport) *QP {
 		reads:    make(map[uint64]*sim.Future[[]byte]),
 		notifies: make(map[uint64]*sim.Future[sim.Time]),
 		seen:     make(map[uint64]bool),
+
+		retryBySeq: make(map[uint64]*retryJob),
 	}
 	n.qps[q.ID] = q
 	return q
@@ -187,28 +199,217 @@ func (n *NIC) Restart() {
 // Epoch returns the crash epoch.
 func (n *NIC) Epoch() int { return n.epoch }
 
+// txJob is a pooled, pre-bound WQE-processing event: post fills it in and
+// schedules fn, avoiding a closure per posted message.
+type txJob struct {
+	n     *NIC
+	dst   string
+	m     *wireMsg
+	size  int
+	epoch int
+	fn    func()
+}
+
+func (n *NIC) newTxJob() *txJob {
+	if l := len(n.txFree); l > 0 {
+		j := n.txFree[l-1]
+		n.txFree = n.txFree[:l-1]
+		return j
+	}
+	j := &txJob{n: n}
+	j.fn = func() { j.run() }
+	return j
+}
+
+func (j *txJob) run() {
+	n, dst, m, size, epoch := j.n, j.dst, j.m, j.size, j.epoch
+	j.m, j.dst = nil, ""
+	n.txFree = append(n.txFree, j)
+	if n.epoch != epoch {
+		m.unref() // message died in the crashed NIC's queues
+		return
+	}
+	// The fabric takes over our reference and drops it when the message is
+	// delivered (after the handler returns) or lost.
+	n.EP.SendPooled(dst, size, m, m.releaseFn)
+}
+
 // post runs a WQE through the tx pipeline and puts the message on the wire.
+// It takes over one reference to m.
 func (n *NIC) post(dst string, m *wireMsg, wireSize int) {
-	done := n.tx.Reserve(n.Params.ProcPerWQE)
-	epoch := n.epoch
-	n.K.Schedule(done, func() {
-		if n.epoch != epoch {
-			return
-		}
-		n.EP.Send(&fabric.Message{To: dst, Size: wireSize, Payload: m})
-	})
+	n.postJob(n.tx.Reserve(n.Params.ProcPerWQE), dst, m, wireSize)
 }
 
 // postAt is post starting no earlier than at.
 func (n *NIC) postAt(at sim.Time, dst string, m *wireMsg, wireSize int) {
-	done := n.tx.ReserveAt(at, n.Params.ProcPerWQE)
-	epoch := n.epoch
-	n.K.Schedule(done, func() {
-		if n.epoch != epoch {
-			return
+	n.postJob(n.tx.ReserveAt(at, n.Params.ProcPerWQE), dst, m, wireSize)
+}
+
+func (n *NIC) postJob(done sim.Time, dst string, m *wireMsg, wireSize int) {
+	j := n.newTxJob()
+	j.dst, j.m, j.size, j.epoch = dst, m, wireSize, n.epoch
+	n.K.Schedule(done, j.fn)
+}
+
+// nicJob is the pooled receive-side event: one struct covers the memory
+// applies, delivery pushes, flush ACKs, deferred reads and read responses
+// that the inbound paths previously scheduled as per-message closures. A
+// job recycles itself before acting, so the event it fires may immediately
+// reuse the slot; every kind therefore snapshots the fields it reads first.
+type nicJob struct {
+	n       *NIC
+	kind    uint8
+	epoch   int
+	q       *QP
+	m       *wireMsg
+	addr    int64
+	nb      int
+	data    []byte
+	tail    []byte
+	imm     uint32
+	seq     uint64
+	srcQP   int
+	logAddr int64
+	durable sim.Time
+	fn      func()
+}
+
+// nicJob kinds. Each helper that creates a job sets every field its kind
+// reads; fields left over from a previous use are never consulted.
+const (
+	jFlushAck uint8 = iota
+	jApplyDRAM
+	jApplyLLC
+	jArrival
+	jRecvImm
+	jRecvSend
+	jServeRead
+	jReadRespDRAM
+	jReadRespLLC
+	jReadRespPM
+)
+
+func (n *NIC) newNICJob(kind uint8) *nicJob {
+	if l := len(n.jobFree); l > 0 {
+		j := n.jobFree[l-1]
+		n.jobFree = n.jobFree[:l-1]
+		j.kind, j.epoch = kind, n.epoch
+		return j
+	}
+	j := &nicJob{n: n, kind: kind, epoch: n.epoch}
+	j.fn = func() { j.run() }
+	return j
+}
+
+func (j *nicJob) run() {
+	// Snapshot and recycle first: the body below may schedule further
+	// pooled work that reuses this slot.
+	n, kind, epoch, q, m := j.n, j.kind, j.epoch, j.q, j.m
+	addr, nb, data, tail := j.addr, j.nb, j.data, j.tail
+	imm, seq, srcQP, logAddr, durable := j.imm, j.seq, j.srcQP, j.logAddr, j.durable
+	j.q, j.m, j.data, j.tail = nil, nil, nil, nil
+	n.jobFree = append(n.jobFree, j)
+
+	if kind == jServeRead {
+		// The deferred read retains its message across the PCIe drain; the
+		// reference drops whether or not the epoch survived.
+		if n.epoch == epoch {
+			n.serveRead(q, m)
 		}
-		n.EP.Send(&fabric.Message{To: dst, Size: wireSize, Payload: m})
-	})
+		m.unref()
+		return
+	}
+	if n.epoch != epoch {
+		return
+	}
+	switch kind {
+	case jFlushAck:
+		n.flushAck(q, seq)
+	case jApplyDRAM:
+		n.DRAM.Write(addr, data)
+		if tail != nil {
+			n.DRAM.Write(addr+int64(nb-len(tail)), tail)
+		}
+	case jApplyLLC:
+		n.LLC.InstallDirty(addr, nb, data)
+		if tail != nil {
+			n.LLC.InstallDirty(addr+int64(nb-len(tail)), len(tail), tail)
+		}
+	case jArrival:
+		q.Arrivals.Push(Arrival{Addr: addr, N: nb, Data: data,
+			At: n.K.Now(), Durable: durable, SrcQP: srcQP})
+	case jRecvImm:
+		q.RecvCQ.Push(Recv{Addr: addr, N: nb, Data: data, Imm: imm,
+			At: n.K.Now(), Durable: durable, LogAddr: -1, SrcQP: srcQP, IsImm: true})
+	case jRecvSend:
+		q.RecvCQ.Push(Recv{Addr: addr, N: nb, Data: data,
+			At: n.K.Now(), Durable: durable, LogAddr: logAddr, SrcQP: srcQP})
+	case jReadRespDRAM, jReadRespLLC, jReadRespPM:
+		rm := n.newWireMsg()
+		rm.Kind, rm.DstQP, rm.SrcQP, rm.Seq, rm.N = wReadResp, q.remoteQP, q.ID, seq, nb
+		switch kind {
+		case jReadRespDRAM:
+			rm.Data = n.DRAM.Read(addr, nb)
+		case jReadRespLLC:
+			rm.Data = n.LLC.Read(addr, nb)
+		default:
+			rm.Data = n.PM.ReadBytes(addr, nb)
+		}
+		n.postAt(n.K.Now(), q.remoteNIC, rm, n.Params.HeaderBytes+nb)
+	}
+}
+
+// scheduleFlushAck emits the T_B flush acknowledgement for seq at `at`,
+// suppressed if the NIC crashes first.
+func (n *NIC) scheduleFlushAck(at sim.Time, q *QP, seq uint64) {
+	j := n.newNICJob(jFlushAck)
+	j.q, j.seq = q, seq
+	n.K.Schedule(at, j.fn)
+}
+
+// scheduleApply stages the DMA memory effect (DRAM write or dirty-LLC
+// install) of an inbound message at `at`.
+func (n *NIC) scheduleApply(at sim.Time, kind uint8, addr int64, nb int, data, tail []byte) {
+	j := n.newNICJob(kind)
+	j.addr, j.nb, j.data, j.tail = addr, nb, data, tail
+	n.K.Schedule(at, j.fn)
+}
+
+// scheduleReadResp emits the read response at `at`, fetching the payload
+// from the source that kind names at fire time.
+func (n *NIC) scheduleReadResp(at sim.Time, kind uint8, q *QP, addr int64, nb int, seq uint64) {
+	j := n.newNICJob(kind)
+	j.q, j.addr, j.nb, j.seq = q, addr, nb, seq
+	n.K.Schedule(at, j.fn)
+}
+
+// rxJob is the pooled inbound counterpart of txJob.
+type rxJob struct {
+	n     *NIC
+	m     *wireMsg
+	epoch int
+	fn    func()
+}
+
+func (n *NIC) newRxJob() *rxJob {
+	if l := len(n.rxFree); l > 0 {
+		j := n.rxFree[l-1]
+		n.rxFree = n.rxFree[:l-1]
+		return j
+	}
+	j := &rxJob{n: n}
+	j.fn = func() { j.run() }
+	return j
+}
+
+func (j *rxJob) run() {
+	n, m, epoch := j.n, j.m, j.epoch
+	j.m = nil
+	n.rxFree = append(n.rxFree, j)
+	if n.epoch == epoch {
+		n.process(m)
+	}
+	m.unref()
 }
 
 // handleWire is the fabric arrival handler: it runs the message through the
@@ -220,13 +421,12 @@ func (n *NIC) handleWire(at sim.Time, fm *fabric.Message) {
 		cost += n.Params.SendExtra
 	}
 	done := n.rx.ReserveAt(at, cost)
-	epoch := n.epoch
-	n.K.Schedule(done, func() {
-		if n.epoch != epoch {
-			return
-		}
-		n.process(m)
-	})
+	// Retain across the rx pipeline: the sender's reference dies with the
+	// fabric's release hook as soon as this handler returns.
+	m.ref()
+	j := n.newRxJob()
+	j.m, j.epoch = m, n.epoch
+	n.K.Schedule(done, j.fn)
 }
 
 // process dispatches one inbound message at the current virtual time.
@@ -246,16 +446,19 @@ func (n *NIC) process(m *wireMsg) {
 	case wReadResp:
 		if f, ok := q.reads[m.Seq]; ok {
 			delete(q.reads, m.Seq)
+			q.settleRetry(m.Seq, f)
 			f.Complete(m.Data)
 		}
 	case wAck:
 		if f, ok := q.acks[m.Seq]; ok {
 			delete(q.acks, m.Seq)
+			q.settleRetry(m.Seq, f)
 			f.Complete(n.K.Now())
 		}
 	case wFlushAck:
 		if f, ok := q.flushes[m.Seq]; ok {
 			delete(q.flushes, m.Seq)
+			q.settleRetry(m.Seq, f)
 			f.Complete(n.K.Now())
 		}
 	case wNotify:
@@ -273,7 +476,9 @@ func (n *NIC) rcAck(q *QP, seq uint64) {
 	if q.Transport != RC {
 		return
 	}
-	n.post(q.remoteNIC, &wireMsg{Kind: wAck, DstQP: q.remoteQP, SrcQP: q.ID, Seq: seq}, n.Params.AckBytes)
+	m := n.newWireMsg()
+	m.Kind, m.DstQP, m.SrcQP, m.Seq = wAck, q.remoteQP, q.ID, seq
+	n.post(q.remoteNIC, m, n.Params.AckBytes)
 }
 
 // flushAck acknowledges durability (T_B).
@@ -282,7 +487,9 @@ func (n *NIC) flushAck(q *QP, seq uint64) {
 	if n.Trace != nil {
 		n.Trace("rnic", "%s: flush-ack seq=%d qp=%d (durable)", n.Name, seq, q.ID)
 	}
-	n.post(q.remoteNIC, &wireMsg{Kind: wFlushAck, DstQP: q.remoteQP, SrcQP: q.ID, Seq: seq}, n.Params.AckBytes)
+	m := n.newWireMsg()
+	m.Kind, m.DstQP, m.SrcQP, m.Seq = wFlushAck, q.remoteQP, q.ID, seq
+	n.post(q.remoteNIC, m, n.Params.AckBytes)
 }
 
 // inboundWrite handles write and write-imm: stage in SRAM, ACK (RC), DMA to
@@ -299,12 +506,7 @@ func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 				if q.lastDurable > at {
 					at = q.lastDurable
 				}
-				epoch := n.epoch
-				n.K.Schedule(at, func() {
-					if n.epoch == epoch {
-						n.flushAck(q, m.Seq)
-					}
-				})
+				n.scheduleFlushAck(at, q, m.Seq)
 			}
 			return
 		}
@@ -316,46 +518,44 @@ func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 	n.StagedMsgs++
 	n.rcAck(q, m.Seq) // T_A
 
-	kind := n.mrKind(m.Addr)
-	pcieDone := n.pcie.Reserve(n.pcieCost(m.N))
+	// Snapshot the message: m is pooled and may be recycled before the
+	// events scheduled below fire.
+	addr, nb, data, tail := m.Addr, m.N, m.Data, m.Tail
+	seq, flush := m.Seq, m.Flush
+
+	kind := n.mrKind(addr)
+	pcieDone := n.pcie.Reserve(n.pcieCost(nb))
 	epoch := n.epoch
 
-	deliver := func(at sim.Time, durable sim.Time) {
-		n.K.Schedule(at, func() {
-			if n.epoch != epoch {
-				return
-			}
-			if m.Kind == wWriteImm {
-				q.RecvCQ.Push(Recv{Addr: m.Addr, N: m.N, Data: m.Data, Imm: m.Imm,
-					At: n.K.Now(), Durable: durable, LogAddr: -1, SrcQP: m.SrcQP, IsImm: true})
-			} else {
-				q.Arrivals.Push(Arrival{Addr: m.Addr, N: m.N, Data: m.Data,
-					At: n.K.Now(), Durable: durable, SrcQP: m.SrcQP})
-			}
-		})
+	// The delivery (completion-queue push) job; each branch below fills in
+	// the durability horizon and schedules it after the memory effect.
+	dj := n.newNICJob(jArrival)
+	if m.Kind == wWriteImm {
+		dj.kind = jRecvImm
 	}
+	dj.q, dj.addr, dj.nb, dj.data = q, addr, nb, data
+	dj.imm, dj.srcQP = m.Imm, m.SrcQP
 
 	switch {
 	case kind == MemDRAM:
-		n.K.Schedule(pcieDone, func() {
-			if n.epoch != epoch {
-				return
-			}
-			n.DRAM.Write(m.Addr, m.Data)
-		})
-		deliver(pcieDone, 0)
-	case n.Params.DDIO && !m.Flush:
+		n.scheduleApply(pcieDone, jApplyDRAM, addr, nb, data, tail)
+		dj.durable = 0
+		n.K.Schedule(pcieDone, dj.fn)
+	case n.Params.DDIO && !flush:
 		// DDIO steers the DMA into the volatile LLC (§2.3): fast and
-		// CPU-visible, but not durable until a CPU clflush.
-		n.K.Schedule(pcieDone, func() {
-			if n.epoch != epoch {
-				return
-			}
-			n.LLC.InstallDirty(m.Addr, m.N, m.Data)
-		})
-		deliver(pcieDone, 0)
+		// CPU-visible, but not durable until a CPU clflush. A sparse image
+		// dirties the same lines as a materialized one (timing-identical
+		// flushes); only the head and trailer bytes carry content.
+		n.scheduleApply(pcieDone, jApplyLLC, addr, nb, data, tail)
+		dj.durable = 0
+		n.K.Schedule(pcieDone, dj.fn)
 	default:
-		durable := n.PM.Persist(pcieDone, m.Addr, m.N, m.Data, pmem.DMA)
+		var durable sim.Time
+		if tail != nil {
+			durable = n.PM.PersistTail(pcieDone, addr, nb, data, tail, pmem.DMA)
+		} else {
+			durable = n.PM.Persist(pcieDone, addr, nb, data, pmem.DMA)
+		}
 		if durable > q.lastDurable {
 			q.lastDurable = durable
 		}
@@ -366,19 +566,20 @@ func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 		// lets log recovery stop at the first torn entry without ever
 		// dropping an acknowledged one.
 		horizon := q.lastDurable
-		deliver(horizon, horizon)
+		dj.durable = horizon
+		n.K.Schedule(horizon, dj.fn)
 		if q.ChainNext != nil {
 			// Chained QPs forward every inbound write to the next
 			// replica (HyperLoop forwards the whole write stream).
-			if !m.Flush {
-				q.ChainNext.WriteAsync(m.Addr, m.N, m.Data)
+			if !flush {
+				q.ChainNext.WriteTailAsync(addr, nb, data, tail)
 				return
 			}
 			// HyperLoop-style group offload (§4.5): forward the write
 			// down the replica chain NIC-to-NIC and ACK the origin only
 			// when the local persist and the whole downstream chain are
 			// durable.
-			fwd := q.ChainNext.WriteFlushAsync(m.Addr, m.N, m.Data)
+			fwd := q.ChainNext.WriteFlushTailAsync(addr, nb, data, tail)
 			fwd.Then(func(sim.Time) {
 				if n.epoch != epoch {
 					return
@@ -387,25 +588,16 @@ func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 				if now := n.K.Now(); now > at {
 					at = now
 				}
-				n.K.Schedule(at, func() {
-					if n.epoch == epoch {
-						n.flushAck(q, m.Seq)
-					}
-				})
+				n.scheduleFlushAck(at, q, seq)
 			})
 			return
 		}
-		if m.Flush {
+		if flush {
 			ackAt := horizon
 			if n.Params.AckBeforeDurable {
 				ackAt = pcieDone // §2.4 bug: ACK before the media persist
 			}
-			n.K.Schedule(ackAt, func() {
-				if n.epoch != epoch {
-					return
-				}
-				n.flushAck(q, m.Seq)
-			})
+			n.scheduleFlushAck(ackAt, q, seq)
 		}
 	}
 }
@@ -422,12 +614,9 @@ func (n *NIC) inboundSend(q *QP, m *wireMsg) {
 				if q.lastDurable > at {
 					at = q.lastDurable
 				}
-				epoch := n.epoch
-				n.K.Schedule(at, func() {
-					if n.epoch == epoch {
-						n.flushAck(q, m.Seq)
-					}
-				})
+				// The job snapshots m.Seq now: m is pooled and may carry a
+				// different message by the time the ACK fires.
+				n.scheduleFlushAck(at, q, m.Seq)
 			}
 			return
 		}
@@ -436,7 +625,9 @@ func (n *NIC) inboundSend(q *QP, m *wireMsg) {
 	n.StagedMsgs++
 	n.rcAck(q, m.Seq) // T_A
 	if len(q.recvBufs) == 0 {
-		// Receiver-not-ready: hold in SRAM until a buffer is posted.
+		// Receiver-not-ready: hold in SRAM until a buffer is posted. The
+		// queue retains the message past this event (released in PostRecv).
+		m.ref()
 		q.pendingSends = append(q.pendingSends, m)
 		return
 	}
@@ -445,24 +636,26 @@ func (n *NIC) inboundSend(q *QP, m *wireMsg) {
 	n.placeSend(q, m, buf)
 }
 
-// placeSend performs the DMA chain for a send whose buffer is known.
+// placeSend performs the DMA chain for a send whose buffer is known. It
+// only uses m synchronously; scheduled events snapshot the fields.
 func (n *NIC) placeSend(q *QP, m *wireMsg, buf RecvBuf) {
-	epoch := n.epoch
+	nb, data, tail := m.N, m.Data, m.Tail
+	seq, srcQP, flush := m.Seq, m.SrcQP, m.Flush
 	kind := n.mrKind(buf.Addr)
-	pcieDone := n.pcie.Reserve(n.pcieCost(m.N))
+	pcieDone := n.pcie.Reserve(n.pcieCost(nb))
 
 	var visible, durable sim.Time
 	switch {
 	case kind == MemDRAM:
-		n.K.Schedule(pcieDone, func() {
-			if n.epoch != epoch {
-				return
-			}
-			n.DRAM.Write(buf.Addr, m.Data)
-		})
+		n.scheduleApply(pcieDone, jApplyDRAM, buf.Addr, nb, data, tail)
 		visible, durable = pcieDone, 0
 	default:
-		d := n.PM.Persist(pcieDone, buf.Addr, m.N, m.Data, pmem.DMA)
+		var d sim.Time
+		if tail != nil {
+			d = n.PM.PersistTail(pcieDone, buf.Addr, nb, data, tail, pmem.DMA)
+		} else {
+			d = n.PM.Persist(pcieDone, buf.Addr, nb, data, pmem.DMA)
+		}
 		if d > q.lastDurable {
 			q.lastDurable = d
 		}
@@ -471,14 +664,19 @@ func (n *NIC) placeSend(q *QP, m *wireMsg, buf RecvBuf) {
 	}
 
 	logAddr := int64(-1)
-	if m.Flush && q.FlushSink != nil {
+	if flush && q.FlushSink != nil {
 		// SFlush: the NIC parses the packet to resolve the destination
 		// (AddrLookup), then a second DMA deposits the payload in the
 		// redo log and persists it (paper Fig. 5, steps A and B).
-		logAddr = q.FlushSink(m.N)
+		logAddr = q.FlushSink(nb)
 		lookupDone := pcieDone.Add(n.Params.AddrLookup)
-		dma2 := n.pcie.ReserveAt(lookupDone, n.pcieCost(m.N))
-		d := n.PM.Persist(dma2, logAddr, m.N, m.Data, pmem.DMA)
+		dma2 := n.pcie.ReserveAt(lookupDone, n.pcieCost(nb))
+		var d sim.Time
+		if tail != nil {
+			d = n.PM.PersistTail(dma2, logAddr, nb, data, tail, pmem.DMA)
+		} else {
+			d = n.PM.Persist(dma2, logAddr, nb, data, pmem.DMA)
+		}
 		if d > q.lastDurable {
 			q.lastDurable = d
 		}
@@ -487,25 +685,16 @@ func (n *NIC) placeSend(q *QP, m *wireMsg, buf RecvBuf) {
 		if n.Params.AckBeforeDurable {
 			ackAt = dma2 // §2.4 bug: ACK before the media persist
 		}
-		n.K.Schedule(ackAt, func() {
-			if n.epoch != epoch {
-				return
-			}
-			n.flushAck(q, m.Seq)
-		})
+		n.scheduleFlushAck(ackAt, q, seq)
 		if visible < durable {
 			visible = durable
 		}
 	}
 
-	la := logAddr
-	n.K.Schedule(visible, func() {
-		if n.epoch != epoch {
-			return
-		}
-		q.RecvCQ.Push(Recv{Addr: buf.Addr, N: m.N, Data: m.Data,
-			At: n.K.Now(), Durable: durable, LogAddr: la, SrcQP: m.SrcQP})
-	})
+	j := n.newNICJob(jRecvSend)
+	j.q, j.addr, j.nb, j.data = q, buf.Addr, nb, data
+	j.durable, j.logAddr, j.srcQP = durable, logAddr, srcQP
+	n.K.Schedule(visible, j.fn)
 }
 
 // inboundRead serves a one-sided read. Without DDIO, a read of a range with
@@ -520,47 +709,35 @@ func (n *NIC) inboundRead(q *QP, m *wireMsg) {
 	if now := n.K.Now(); now > start {
 		start = now
 	}
-	epoch := n.epoch
-	n.K.Schedule(start, func() {
-		if n.epoch != epoch {
-			return
-		}
-		n.serveRead(q, m)
-	})
+	m.ref() // retained until serveRead runs
+	j := n.newNICJob(jServeRead)
+	j.q, j.m = q, m
+	n.K.Schedule(start, j.fn)
 }
 
 // serveRead resolves a read once the DMA engine has drained ahead of it.
+// m is only used synchronously; scheduled events snapshot the fields.
 func (n *NIC) serveRead(q *QP, m *wireMsg) {
 	if !n.checkAccess(q, m.Addr, false) {
 		return // protection fault: NAK, QP error
 	}
-	epoch := n.epoch
-	kind := n.mrKind(m.Addr)
-	respond := func(at sim.Time, fetch func() []byte) {
-		n.K.Schedule(at, func() {
-			if n.epoch != epoch {
-				return
-			}
-			n.postAt(n.K.Now(), q.remoteNIC,
-				&wireMsg{Kind: wReadResp, DstQP: q.remoteQP, SrcQP: q.ID, Seq: m.Seq, N: m.N, Data: fetch()},
-				n.Params.HeaderBytes+m.N)
-		})
-	}
+	addr, nb, seq := m.Addr, m.N, m.Seq
+	kind := n.mrKind(addr)
 	switch {
 	case kind == MemDRAM:
-		done := n.pcie.Reserve(n.pcieCost(m.N))
-		respond(done, func() []byte { return n.DRAM.Read(m.Addr, m.N) })
-	case n.Params.DDIO && n.LLC.DirtyIn(m.Addr, m.N):
+		done := n.pcie.Reserve(n.pcieCost(nb))
+		n.scheduleReadResp(done, jReadRespDRAM, q, addr, nb, seq)
+	case n.Params.DDIO && n.LLC.DirtyIn(addr, nb):
 		// Served from cache: fast, and silently non-durable.
-		done := n.pcie.Reserve(n.pcieCost(m.N))
-		respond(done, func() []byte { return n.LLC.Read(m.Addr, m.N) })
+		done := n.pcie.Reserve(n.pcieCost(nb))
+		n.scheduleReadResp(done, jReadRespLLC, q, addr, nb, seq)
 	default:
 		start := n.K.Now()
 		if q.lastDurable > start {
 			start = q.lastDurable // read flushes pending DMA first
 		}
-		readDone := n.PM.Read(start, m.Addr, m.N)
-		pcieDone := n.pcie.ReserveAt(readDone, n.pcieCost(m.N))
-		respond(pcieDone, func() []byte { return n.PM.ReadBytes(m.Addr, m.N) })
+		readDone := n.PM.Read(start, addr, nb)
+		pcieDone := n.pcie.ReserveAt(readDone, n.pcieCost(nb))
+		n.scheduleReadResp(pcieDone, jReadRespPM, q, addr, nb, seq)
 	}
 }

@@ -3,7 +3,6 @@ package rnic
 import (
 	"fmt"
 
-	"prdma/internal/fabric"
 	"prdma/internal/sim"
 )
 
@@ -46,6 +45,10 @@ type QP struct {
 	flushes  map[uint64]*sim.Future[sim.Time]
 	reads    map[uint64]*sim.Future[[]byte]
 	notifies map[uint64]*sim.Future[sim.Time]
+	// retryBySeq tracks the live retransmit job per in-flight RC message so
+	// the completion that settles it can release the job (and its message
+	// reference) immediately instead of at the next 100 ms timer tick.
+	retryBySeq map[uint64]*retryJob
 	// pendingNotify buffers tags that arrived before ExpectNotify.
 	pendingNotify []uint64
 	// seen dedups retransmitted RC operations.
@@ -75,42 +78,113 @@ func (q *QP) nextSeq() uint64 {
 // wireSize is payload plus per-message header overhead.
 func (q *QP) wireSize(n int) int { return q.nic.Params.HeaderBytes + n }
 
-// reliablePost transmits an RC message and retransmits it every
-// RetransmitInterval until `settled` reports completion or the QP dies.
-// The receiver dedups by sequence number, so duplicates are harmless; RC's
-// in-order semantics are preserved because retransmission only happens for
-// messages that never got their acknowledgement.
-func (q *QP) reliablePost(m *wireMsg, size int, settled func() bool) {
+// retryJob is a pooled retransmit timer for one RC message. It holds one
+// reference to the message (the caller's, taken over by reliablePost) until
+// the transfer settles, the QP dies, or the retry budget is exhausted, and
+// re-arms itself via its pre-bound thunk, so the reliability path allocates
+// nothing in the steady state. settleRetry releases the job as soon as the
+// settling completion arrives; the already-armed timer then fires into a
+// stale-swallow (the job may have been reused by then) instead of attempting.
+type retryJob struct {
+	q       *QP
+	m       *wireMsg
+	size    int
+	tries   int
+	stale   int // armed timer fires to swallow after an early settle
+	settled interface{ Done() bool }
+	fn      func()
+}
+
+func (n *NIC) newRetryJob() *retryJob {
+	if l := len(n.retryFree); l > 0 {
+		j := n.retryFree[l-1]
+		n.retryFree = n.retryFree[:l-1]
+		return j
+	}
+	j := &retryJob{}
+	j.fn = func() { j.timerFire() }
+	return j
+}
+
+func (j *retryJob) finish() {
+	m, q := j.m, j.q
 	n := q.nic
+	if q.retryBySeq[m.Seq] == j {
+		delete(q.retryBySeq, m.Seq)
+	}
+	j.m, j.q, j.settled = nil, nil, nil
+	n.retryFree = append(n.retryFree, j)
+	m.unref()
+}
+
+// settleRetry releases the retransmit job for seq if f is the future it was
+// waiting on. Called from the completion paths (ACK, flush ACK, read
+// response); the future identity check keeps a plain ACK from settling a
+// flush-guarded job, whose retransmits must continue until the flush ACK.
+func (q *QP) settleRetry(seq uint64, f interface{ Done() bool }) {
+	j, ok := q.retryBySeq[seq]
+	if !ok || j.settled != f {
+		return
+	}
+	j.stale++ // exactly one armed timer outstanding: swallow it
+	j.finish()
+}
+
+// timerFire is the retransmit-timer entry point: it discounts fires armed by
+// a previous, already-settled incarnation of this (pooled) job.
+func (j *retryJob) timerFire() {
+	if j.stale > 0 {
+		j.stale--
+		return
+	}
+	j.attempt()
+}
+
+func (j *retryJob) attempt() {
+	q := j.q
+	n := q.nic
+	if q.dead || j.settled.Done() {
+		j.finish()
+		return
+	}
 	retries := n.Params.RetryCount
 	if retries <= 0 {
 		retries = 7
 	}
-	var attempt func(tries int)
-	attempt = func(tries int) {
-		if q.dead || settled() {
-			return
+	if j.tries > retries {
+		// Retry budget exhausted: the QP enters the error state,
+		// exactly as InfiniBand retry_cnt exhaustion does. The
+		// application layer re-establishes the connection.
+		q.dead = true
+		if n.Trace != nil {
+			n.Trace("rnic", "%s: qp=%d retry budget exhausted (seq=%d) -> error state", n.Name, q.ID, j.m.Seq)
 		}
-		if tries > retries {
-			// Retry budget exhausted: the QP enters the error state,
-			// exactly as InfiniBand retry_cnt exhaustion does. The
-			// application layer re-establishes the connection.
-			q.dead = true
-			if n.Trace != nil {
-				n.Trace("rnic", "%s: qp=%d retry budget exhausted (seq=%d) -> error state", n.Name, q.ID, m.Seq)
-			}
-			return
-		}
-		if tries > 0 {
-			n.Retransmits++
-			if n.Trace != nil {
-				n.Trace("rnic", "%s: retransmit #%d seq=%d qp=%d", n.Name, tries, m.Seq, q.ID)
-			}
-		}
-		n.post(q.remoteNIC, m, size)
-		n.K.AfterFunc(n.Params.RetransmitInterval, func() { attempt(tries + 1) })
+		j.finish()
+		return
 	}
-	attempt(0)
+	if j.tries > 0 {
+		n.Retransmits++
+		if n.Trace != nil {
+			n.Trace("rnic", "%s: retransmit #%d seq=%d qp=%d", n.Name, j.tries, j.m.Seq, q.ID)
+		}
+	}
+	j.m.ref()
+	n.post(q.remoteNIC, j.m, j.size)
+	j.tries++
+	n.K.AfterFunc(n.Params.RetransmitInterval, j.fn)
+}
+
+// reliablePost transmits an RC message and retransmits it every
+// RetransmitInterval until `settled` reports completion or the QP dies.
+// The receiver dedups by sequence number, so duplicates are harmless; RC's
+// in-order semantics are preserved because retransmission only happens for
+// messages that never got their acknowledgement. Takes over the caller's
+// reference to m.
+func (q *QP) reliablePost(m *wireMsg, size int, settled interface{ Done() bool }) {
+	j := q.nic.newRetryJob()
+	j.q, j.m, j.size, j.tries, j.settled = q, m, size, 0, settled
+	q.retryBySeq[m.Seq] = j
+	j.attempt()
 }
 
 // PostRecv posts a receive buffer. Buffered sends that arrived while no
@@ -121,13 +195,15 @@ func (q *QP) PostRecv(addr int64, length int) {
 		m := q.pendingSends[0]
 		q.pendingSends = q.pendingSends[1:]
 		q.nic.placeSend(q, m, buf)
+		m.unref() // drop the RNR-queue retention
 		return
 	}
 	q.recvBufs = append(q.recvBufs, buf)
 }
 
 // localCompleteFuture returns a future resolved when the message has left
-// the local NIC (the completion semantics of UC/UD).
+// the local NIC (the completion semantics of UC/UD). Takes over the
+// caller's reference to m.
 func (q *QP) localCompleteFuture(m *wireMsg, size int) *sim.Future[sim.Time] {
 	f := sim.NewFuture[sim.Time](q.nic.K)
 	done := q.nic.tx.Reserve(q.nic.Params.ProcPerWQE)
@@ -135,9 +211,10 @@ func (q *QP) localCompleteFuture(m *wireMsg, size int) *sim.Future[sim.Time] {
 	n := q.nic
 	n.K.Schedule(done, func() {
 		if n.epoch != epoch {
+			m.unref()
 			return
 		}
-		txDone := n.EP.Send(&fabric.Message{To: q.remoteNIC, Size: size, Payload: m})
+		txDone := n.EP.SendPooled(q.remoteNIC, size, m, m.releaseFn)
 		n.K.Schedule(txDone, func() { f.Complete(n.K.Now()) })
 	})
 	return f
@@ -147,13 +224,24 @@ func (q *QP) localCompleteFuture(m *wireMsg, size int) *sim.Future[sim.Time] {
 // returns a future resolved at the work completion: the RC ACK (data staged
 // in remote SRAM — not durable!), or local wire-out for UC/UD.
 func (q *QP) WriteAsync(raddr int64, n int, data []byte) *sim.Future[sim.Time] {
-	m := &wireMsg{Kind: wWrite, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), Addr: raddr, N: n, Data: data}
+	return q.WriteTailAsync(raddr, n, data, nil)
+}
+
+// WriteTailAsync is WriteAsync for a sparse image: data lands at raddr and
+// tail at raddr+n-len(tail); the gap between them is timed like any other
+// byte but never materialized (see pmem.PersistSegs). A nil tail is a plain
+// write. The simulated wire still carries n bytes either way — sparseness
+// elides host-memory work, not modeled traffic, so results are identical.
+func (q *QP) WriteTailAsync(raddr int64, n int, data, tail []byte) *sim.Future[sim.Time] {
+	m := q.nic.newWireMsg()
+	m.Kind, m.SrcQP, m.DstQP, m.Seq = wWrite, q.ID, q.remoteQP, q.nextSeq()
+	m.Addr, m.N, m.Data, m.Tail = raddr, n, data, tail
 	if q.Transport != RC {
 		return q.localCompleteFuture(m, q.wireSize(n))
 	}
 	f := sim.NewFuture[sim.Time](q.nic.K)
 	q.acks[m.Seq] = f
-	q.reliablePost(m, q.wireSize(n), f.Done)
+	q.reliablePost(m, q.wireSize(n), f)
 	return f
 }
 
@@ -165,13 +253,15 @@ func (q *QP) Write(p *sim.Proc, raddr int64, n int, data []byte) sim.Time {
 // WriteImmAsync is WriteAsync with an immediate value that raises a receive
 // completion at the remote CPU.
 func (q *QP) WriteImmAsync(raddr int64, n int, data []byte, imm uint32) *sim.Future[sim.Time] {
-	m := &wireMsg{Kind: wWriteImm, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), Addr: raddr, N: n, Data: data, Imm: imm}
+	m := q.nic.newWireMsg()
+	m.Kind, m.SrcQP, m.DstQP, m.Seq = wWriteImm, q.ID, q.remoteQP, q.nextSeq()
+	m.Addr, m.N, m.Data, m.Imm = raddr, n, data, imm
 	if q.Transport != RC {
 		return q.localCompleteFuture(m, q.wireSize(n))
 	}
 	f := sim.NewFuture[sim.Time](q.nic.K)
 	q.acks[m.Seq] = f
-	q.reliablePost(m, q.wireSize(n), f.Done)
+	q.reliablePost(m, q.wireSize(n), f)
 	return f
 }
 
@@ -188,21 +278,29 @@ func (q *QP) WriteImm(p *sim.Proc, raddr int64, n int, data []byte, imm uint32) 
 // 1-byte RDMA read of the last written byte follows the write; RC ordering
 // makes the read drain the pending DMA, so its response implies durability.
 func (q *QP) WriteFlushAsync(raddr int64, n int, data []byte) *sim.Future[sim.Time] {
+	return q.WriteFlushTailAsync(raddr, n, data, nil)
+}
+
+// WriteFlushTailAsync is WriteFlushAsync for a sparse image (see
+// WriteTailAsync); a nil tail is a plain write+flush.
+func (q *QP) WriteFlushTailAsync(raddr int64, n int, data, tail []byte) *sim.Future[sim.Time] {
 	if q.Transport != RC {
 		panic("rnic: WFlush requires RC")
 	}
 	if q.nic.Params.EmulateFlush {
-		q.WriteAsync(raddr, n, data)
+		q.WriteTailAsync(raddr, n, data, tail)
 		durable := sim.NewFuture[sim.Time](q.nic.K)
 		rd := q.ReadAsync(raddr+int64(n)-1, 1)
 		k := q.nic.K
 		rd.Then(func([]byte) { durable.Complete(k.Now()) })
 		return durable
 	}
-	m := &wireMsg{Kind: wWrite, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), Addr: raddr, N: n, Data: data, Flush: true}
+	m := q.nic.newWireMsg()
+	m.Kind, m.SrcQP, m.DstQP, m.Seq = wWrite, q.ID, q.remoteQP, q.nextSeq()
+	m.Addr, m.N, m.Data, m.Tail, m.Flush = raddr, n, data, tail, true
 	f := sim.NewFuture[sim.Time](q.nic.K)
 	q.flushes[m.Seq] = f
-	q.reliablePost(m, q.wireSize(n), f.Done)
+	q.reliablePost(m, q.wireSize(n), f)
 	return f
 }
 
@@ -215,16 +313,24 @@ func (q *QP) WriteFlush(p *sim.Proc, raddr int64, n int, data []byte) sim.Time {
 // local wire-out for UC/UD. UD payloads above the MTU panic; RPC layers must
 // segment or avoid them (the paper caps FaSST at 4 KB for this reason).
 func (q *QP) SendAsync(n int, data []byte) *sim.Future[sim.Time] {
+	return q.SendTailAsync(n, data, nil)
+}
+
+// SendTailAsync is SendAsync for a sparse image (see WriteTailAsync); a nil
+// tail is a plain send.
+func (q *QP) SendTailAsync(n int, data, tail []byte) *sim.Future[sim.Time] {
 	if q.Transport == UD && n > UDMTU {
 		panic(fmt.Sprintf("rnic: UD payload %d exceeds MTU %d", n, UDMTU))
 	}
-	m := &wireMsg{Kind: wSend, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), N: n, Data: data}
+	m := q.nic.newWireMsg()
+	m.Kind, m.SrcQP, m.DstQP, m.Seq = wSend, q.ID, q.remoteQP, q.nextSeq()
+	m.N, m.Data, m.Tail = n, data, tail
 	if q.Transport != RC {
 		return q.localCompleteFuture(m, q.wireSize(n))
 	}
 	f := sim.NewFuture[sim.Time](q.nic.K)
 	q.acks[m.Seq] = f
-	q.reliablePost(m, q.wireSize(n), f.Done)
+	q.reliablePost(m, q.wireSize(n), f)
 	return f
 }
 
@@ -242,11 +348,17 @@ func (q *QP) Send(p *sim.Proc, n int, data []byte) sim.Time {
 // themselves live in PM, the sender waits the paper's 7 µs address-lookup
 // emulation, then issues a 1-byte read against FlushProbe to drain the DMA.
 func (q *QP) SendFlushAsync(n int, data []byte) *sim.Future[sim.Time] {
+	return q.SendFlushTailAsync(n, data, nil)
+}
+
+// SendFlushTailAsync is SendFlushAsync for a sparse image (see
+// WriteTailAsync); a nil tail is a plain send+flush.
+func (q *QP) SendFlushTailAsync(n int, data, tail []byte) *sim.Future[sim.Time] {
 	if q.Transport != RC {
 		panic("rnic: SFlush requires RC")
 	}
 	if q.nic.Params.EmulateFlush {
-		q.SendAsync(n, data)
+		q.SendTailAsync(n, data, tail)
 		durable := sim.NewFuture[sim.Time](q.nic.K)
 		k := q.nic.K
 		probe := q.FlushProbe
@@ -256,10 +368,12 @@ func (q *QP) SendFlushAsync(n int, data []byte) *sim.Future[sim.Time] {
 		})
 		return durable
 	}
-	m := &wireMsg{Kind: wSend, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), N: n, Data: data, Flush: true}
+	m := q.nic.newWireMsg()
+	m.Kind, m.SrcQP, m.DstQP, m.Seq = wSend, q.ID, q.remoteQP, q.nextSeq()
+	m.N, m.Data, m.Tail, m.Flush = n, data, tail, true
 	f := sim.NewFuture[sim.Time](q.nic.K)
 	q.flushes[m.Seq] = f
-	q.reliablePost(m, q.wireSize(n), f.Done)
+	q.reliablePost(m, q.wireSize(n), f)
 	return f
 }
 
@@ -273,13 +387,15 @@ func (q *QP) ReadAsync(raddr int64, n int) *sim.Future[[]byte] {
 	if q.Transport == UD {
 		panic("rnic: RDMA read requires a connected transport")
 	}
-	m := &wireMsg{Kind: wRead, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), Addr: raddr, N: n}
+	m := q.nic.newWireMsg()
+	m.Kind, m.SrcQP, m.DstQP, m.Seq = wRead, q.ID, q.remoteQP, q.nextSeq()
+	m.Addr, m.N = raddr, n
 	f := sim.NewFuture[[]byte](q.nic.K)
 	q.reads[m.Seq] = f
 	// A read request is small; the response carries the payload. Reads are
 	// idempotent, so retransmission needs no receiver-side dedup.
 	if q.Transport == RC {
-		q.reliablePost(m, q.nic.Params.HeaderBytes, f.Done)
+		q.reliablePost(m, q.nic.Params.HeaderBytes, f)
 	} else {
 		q.nic.post(q.remoteNIC, m, q.nic.Params.HeaderBytes)
 	}
@@ -295,7 +411,8 @@ func (q *QP) Read(p *sim.Proc, raddr int64, n int) []byte {
 // RPCs: the receiver CPU tells the sender its data is durable). It does not
 // involve the remote CPU.
 func (q *QP) Notify(tag uint64) {
-	m := &wireMsg{Kind: wNotify, SrcQP: q.ID, DstQP: q.remoteQP, Seq: q.nextSeq(), Tag: tag}
+	m := q.nic.newWireMsg()
+	m.Kind, m.SrcQP, m.DstQP, m.Seq, m.Tag = wNotify, q.ID, q.remoteQP, q.nextSeq(), tag
 	q.nic.post(q.remoteNIC, m, q.nic.Params.AckBytes)
 }
 

@@ -37,7 +37,12 @@ func (k wireKind) String() string {
 	}
 }
 
-// wireMsg is the payload carried by fabric messages between NICs.
+// wireMsg is the payload carried by fabric messages between NICs. Messages
+// are reference-counted free-list objects owned by the creating NIC's pool
+// (see newWireMsg): every holder that can outlive the current event — the
+// fabric in flight, the rx pipeline, an RNR queue, a retransmit timer —
+// takes a ref and drops it when done, and the message recycles at zero.
+// Data/Tail are views into caller-owned buffers; the pool never owns them.
 type wireMsg struct {
 	Kind         wireKind
 	SrcQP, DstQP int
@@ -45,9 +50,51 @@ type wireMsg struct {
 	Addr         int64  // target address (write/read)
 	N            int    // payload length
 	Data         []byte // nil for timing-only payloads
+	Tail         []byte // sparse image trailer, persisted at Addr+N-len(Tail)
 	Imm          uint32 // immediate value (write-imm)
 	Flush        bool   // piggy-backed native flush request
 	Tag          uint64 // notify tag
+
+	nic       *NIC
+	refs      int
+	releaseFn func() // pre-bound unref, handed to the fabric as release hook
+}
+
+// newWireMsg returns a pooled message with one reference, owned by the
+// caller. Passing it to post/postAt transfers that reference.
+func (n *NIC) newWireMsg() *wireMsg {
+	if l := len(n.wmFree); l > 0 {
+		m := n.wmFree[l-1]
+		n.wmFree = n.wmFree[:l-1]
+		m.refs = 1
+		return m
+	}
+	m := &wireMsg{nic: n, refs: 1}
+	m.releaseFn = func() { m.unref() }
+	return m
+}
+
+// ref and unref are no-ops for caller-constructed (unpooled) messages,
+// which have no owning pool and are garbage-collected as before.
+func (m *wireMsg) ref() {
+	if m.nic != nil {
+		m.refs++
+	}
+}
+
+func (m *wireMsg) unref() {
+	if m.nic == nil {
+		return
+	}
+	m.refs--
+	if m.refs > 0 {
+		return
+	}
+	if m.refs < 0 {
+		panic("rnic: wireMsg over-released")
+	}
+	*m = wireMsg{nic: m.nic, releaseFn: m.releaseFn}
+	m.nic.wmFree = append(m.nic.wmFree, m)
 }
 
 // Arrival is delivered on QP.Arrivals when a one-sided write lands in

@@ -65,14 +65,19 @@ func decodeBatch(body []byte) []*Request {
 	return out
 }
 
-// stashBatch registers a batch under seq and returns the enclosing wire
-// request plus whether any constituent mutates.
-func (c *conn) stashBatch(seq uint64, reqs []*Request) (*Request, bool) {
-	breq, hasWrite := makeBatchFrame(reqs)
+// stash registers a batch's constituent requests under seq.
+func (c *conn) stash(seq uint64, reqs []*Request) {
 	if c.batches == nil {
 		c.batches = make(map[uint64][]*Request)
 	}
 	c.batches[seq] = reqs
+}
+
+// stashBatch registers a batch under seq and returns the enclosing wire
+// request plus whether any constituent mutates.
+func (c *conn) stashBatch(seq uint64, reqs []*Request) (*Request, bool) {
+	breq, hasWrite := makeBatchFrame(reqs)
+	c.stash(seq, reqs)
 	return breq, hasWrite
 }
 

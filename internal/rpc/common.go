@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"prdma/internal/host"
+	"prdma/internal/pmem"
 	"prdma/internal/redolog"
 	"prdma/internal/rnic"
 	"prdma/internal/sim"
@@ -17,29 +18,54 @@ const reqHeaderBytes = 32
 // respHeaderBytes is the response header: seq(8) len(4) pad(4).
 const respHeaderBytes = 16
 
-// encodeReq serializes a request. Synthetic payloads (nil) yield a
-// header-only buffer; the wire/memory size is still header+Size.
-func encodeReq(seq uint64, req *Request) []byte {
-	n := reqHeaderBytes
-	if req.Payload != nil {
-		n += len(req.Payload)
+// Contents markers carried in request-header byte 25.
+const (
+	contentsNone   = 0 // synthetic payload: timed but never materialized
+	contentsReal   = 1 // payload bytes follow (or: reads want contents back)
+	contentsSparse = 2 // uniform flyweight: fill byte in b[26], Size bytes
+)
+
+// reqImageBytes returns the materialized length of a request's wire image —
+// the byte count encodeReqInto produces (the timed size is reqWireBytes).
+func reqImageBytes(req *Request) int {
+	if carriesPayload(req.Op) && req.Payload != nil {
+		return reqHeaderBytes + len(req.Payload)
 	}
-	if !carriesPayload(req.Op) {
-		n = reqHeaderBytes // only mutations carry a payload on the wire
-	}
-	b := make([]byte, n)
+	return reqHeaderBytes
+}
+
+// putReqHeader writes the 32-byte request header into b. flag is the
+// contents marker for byte 25; fill is the sparse fill byte (byte 26).
+// Every pad byte is written so a reused scratch buffer yields the same
+// image a fresh allocation would.
+func putReqHeader(b []byte, seq uint64, req *Request, flag, fill byte) {
 	binary.LittleEndian.PutUint64(b[0:], seq)
 	binary.LittleEndian.PutUint64(b[8:], req.Key)
 	binary.LittleEndian.PutUint32(b[16:], uint32(req.Size))
 	binary.LittleEndian.PutUint32(b[20:], uint32(req.ScanLen))
 	b[24] = byte(req.Op)
+	b[25], b[26], b[27] = flag, fill, 0
+	binary.LittleEndian.PutUint32(b[28:], 0)
+}
+
+// encodeReqInto serializes req into b, which must be exactly
+// reqImageBytes(req) long, and returns b. The alloc-free encodeReq.
+func encodeReqInto(b []byte, seq uint64, req *Request) []byte {
+	var flag byte = contentsNone
 	if req.Payload != nil {
-		b[25] = 1 // "real contents" flag: the server materializes results
+		flag = contentsReal // "real contents": the server materializes results
 	}
+	putReqHeader(b, seq, req, flag, 0)
 	if carriesPayload(req.Op) {
 		copy(b[reqHeaderBytes:], req.Payload)
 	}
 	return b
+}
+
+// encodeReq serializes a request. Synthetic payloads (nil) yield a
+// header-only buffer; the wire/memory size is still header+Size.
+func encodeReq(seq uint64, req *Request) []byte {
+	return encodeReqInto(make([]byte, reqImageBytes(req)), seq, req)
 }
 
 // decodeReq parses a request from message bytes.
@@ -51,13 +77,22 @@ func decodeReq(b []byte) (uint64, *Request) {
 		ScanLen: int(binary.LittleEndian.Uint32(b[20:])),
 		Op:      Op(b[24]),
 	}
+	if b[25] == contentsSparse {
+		// Sparse flyweight: the wire (and any log bytes beyond the header
+		// run) carries no payload image; the contents are Size copies of
+		// the fill byte. Decoding from a recovered log entry also lands
+		// here, which is what makes sparse entries replay correctly even
+		// though their payload gap may cover stale reused ring bytes.
+		req.Sparse = pmem.SparsePayload{Fill: b[26], Len: req.Size}
+		return seq, req
+	}
 	if len(b) > reqHeaderBytes {
 		pl := b[reqHeaderBytes:]
 		if len(pl) > req.Size {
 			pl = pl[:req.Size] // strip log-entry padding/commit trailer
 		}
 		req.Payload = pl
-	} else if b[25] == 1 {
+	} else if b[25] == contentsReal {
 		req.Payload = []byte{} // non-nil: reads want real contents back
 	}
 	return seq, req
@@ -225,6 +260,17 @@ type conn struct {
 	// batches passes decoded batch contents to the server (see batch.go).
 	batches map[uint64][]*Request
 
+	// imgFree pools request/entry image buffers; imgBySeq holds the buffer
+	// in flight for each sequence until its response completes (by then the
+	// server has applied the request, so nothing aliases the image). respFree
+	// and respBySeq do the same for header-only response images — responses
+	// that carry data still allocate, because the bytes escape to the caller
+	// through Response.Data.
+	imgFree   [][]byte
+	imgBySeq  map[uint64][]byte
+	respFree  [][]byte
+	respBySeq map[uint64][]byte
+
 	closed bool
 }
 
@@ -232,7 +278,12 @@ type conn struct {
 // RPCs place their write payloads in the PM redo log directly and only use
 // the ring as a message buffer for non-mutating requests.
 func newConn(kind Kind, cli *host.Host, srv *Server, cfg Config, tp rnic.Transport) *conn {
-	c := &conn{kind: kind, cli: cli, srv: srv, cfg: cfg, pending: make(map[uint64]*sim.Future[respMsg])}
+	c := &conn{
+		kind: kind, cli: cli, srv: srv, cfg: cfg,
+		pending:   make(map[uint64]*sim.Future[respMsg]),
+		imgBySeq:  make(map[uint64][]byte),
+		respBySeq: make(map[uint64][]byte),
+	}
 	c.cq = cli.NIC.CreateQP(tp)
 	c.sq = srv.H.NIC.CreateQP(tp)
 	rnic.Connect(c.cq, c.sq)
@@ -279,8 +330,37 @@ func (c *conn) await(seq uint64) *sim.Future[respMsg] {
 	return f
 }
 
-// complete resolves the pending future for seq.
+// getImage returns a pooled buffer of n bytes registered under seq; it
+// returns to the pool when seq's response completes. Until then the buffer
+// may be aliased by the wire message, the device persist pipeline, and the
+// server-side request view, all of which quiesce before the response.
+func (c *conn) getImage(seq uint64, n int) []byte {
+	var b []byte
+	if l := len(c.imgFree); l > 0 {
+		b = c.imgFree[l-1]
+		c.imgFree = c.imgFree[:l-1]
+	}
+	if cap(b) < n {
+		b = make([]byte, n)
+	}
+	b = b[:n]
+	c.imgBySeq[seq] = b
+	return b
+}
+
+// complete resolves the pending future for seq and releases any pooled
+// request/response images registered under it. Retransmit timers may still
+// reference the buffers, but a settled transfer is never re-read — and an
+// unsettled one means the response has not arrived, so complete has not run.
 func (c *conn) complete(seq uint64, data []byte, at sim.Time) {
+	if b, ok := c.imgBySeq[seq]; ok {
+		delete(c.imgBySeq, seq)
+		c.imgFree = append(c.imgFree, b)
+	}
+	if b, ok := c.respBySeq[seq]; ok {
+		delete(c.respBySeq, seq)
+		c.respFree = append(c.respFree, b)
+	}
 	if f, ok := c.pending[seq]; ok {
 		delete(c.pending, seq)
 		f.Complete(respMsg{data: data, at: at})
@@ -331,12 +411,34 @@ func (c *conn) postClientRecvs() {
 	}
 }
 
+// encodeRespPooled serializes a response like encodeResp, but draws from the
+// connection's header-only buffer pool when there is no data to carry — the
+// write-path case, where the reply is pure control traffic. The buffer is
+// released when seq completes at the client. Responses with data still
+// allocate: their bytes escape to the caller through Response.Data.
+func (c *conn) encodeRespPooled(seq uint64, data []byte) []byte {
+	if len(data) > 0 {
+		return encodeResp(seq, data)
+	}
+	var b []byte
+	if l := len(c.respFree); l > 0 {
+		b = c.respFree[l-1]
+		c.respFree = c.respFree[:l-1]
+	} else {
+		b = make([]byte, respHeaderBytes)
+	}
+	binary.LittleEndian.PutUint64(b[0:], seq)
+	binary.LittleEndian.PutUint64(b[8:], 0) // len + pad
+	c.respBySeq[seq] = b
+	return b
+}
+
 // respondWrite returns a responder that writes the result into the client's
 // response ring (the write-based reply path of Fig. 2).
 func (c *conn) respondWrite(seq uint64, req *Request) func(p *sim.Proc, data []byte) {
 	return func(p *sim.Proc, data []byte) {
 		c.srv.H.Post(p)
-		c.sq.WriteAsync(c.respSlot(seq), respWireBytes(req), encodeResp(seq, data))
+		c.sq.WriteAsync(c.respSlot(seq), respWireBytes(req), c.encodeRespPooled(seq, data))
 	}
 }
 
@@ -344,7 +446,7 @@ func (c *conn) respondWrite(seq uint64, req *Request) func(p *sim.Proc, data []b
 func (c *conn) respondSend(seq uint64, req *Request) func(p *sim.Proc, data []byte) {
 	return func(p *sim.Proc, data []byte) {
 		c.srv.H.Post(p)
-		c.sq.SendAsync(respWireBytes(req), encodeResp(seq, data))
+		c.sq.SendAsync(respWireBytes(req), c.encodeRespPooled(seq, data))
 	}
 }
 
@@ -352,7 +454,7 @@ func (c *conn) respondSend(seq uint64, req *Request) func(p *sim.Proc, data []by
 func (c *conn) respondWriteImm(seq uint64, req *Request) func(p *sim.Proc, data []byte) {
 	return func(p *sim.Proc, data []byte) {
 		c.srv.H.Post(p)
-		c.sq.WriteImmAsync(c.respSlot(seq), respWireBytes(req), encodeResp(seq, data), uint32(seq))
+		c.sq.WriteImmAsync(c.respSlot(seq), respWireBytes(req), c.encodeRespPooled(seq, data), uint32(seq))
 	}
 }
 

@@ -17,6 +17,11 @@ type Store struct {
 
 	addrs map[uint64]int64
 
+	// sparseBuf is the scratch that materializes sparse-flyweight payloads
+	// before they are persisted; PersistSync outlives the device's use of
+	// it, so one buffer per store suffices.
+	sparseBuf []byte
+
 	// Reads/Writes/Scans count applied operations.
 	Reads, Writes, Scans int64
 }
@@ -66,7 +71,11 @@ func (s *Store) ApplyFromBuffer(p *sim.Proc, req *Request) []byte {
 		s.Writes++
 		addr := s.Addr(req.Key)
 		s.H.Memcpy(p, req.Size)
-		s.H.PM.PersistSync(p, addr, req.Size, req.Payload, pmem.CPU)
+		payload := req.Payload
+		if req.Sparse.Len > 0 {
+			payload = s.materialize(req.Sparse)
+		}
+		s.H.PM.PersistSync(p, addr, req.Size, payload, pmem.CPU)
 		return nil
 	case OpScan:
 		s.Scans++
@@ -109,6 +118,17 @@ func (s *Store) readRange(p *sim.Proc, req *Request) []byte {
 		out = append(out, s.H.PM.ReadSync(p, addr, req.Size)...)
 	}
 	return out
+}
+
+// materialize expands a sparse flyweight into the store's scratch buffer,
+// valid until the next call (PersistSync blocks past the device's use).
+func (s *Store) materialize(sp pmem.SparsePayload) []byte {
+	if cap(s.sparseBuf) < sp.Len {
+		s.sparseBuf = make([]byte, sp.Len)
+	}
+	b := s.sparseBuf[:sp.Len]
+	sp.Materialize(b)
+	return b
 }
 
 // readTiming pays a media read's latency without materializing contents.
