@@ -114,6 +114,44 @@ func runCrashcheck(w io.Writer, o crashcheckOptions) int {
 	return bad
 }
 
+// clusterCrashcheckMain is the `-crashcheck -cluster` entry point: a
+// crash-point sweep over the cluster failover/resync path. One replica
+// crashes at every sampled event boundary (periodically a second replica of
+// the same shard fails during the first resync); no acknowledged write may
+// be lost and live replicas must converge byte-identically. Exits non-zero
+// on any violation.
+func clusterCrashcheckMain(seed int64, points, shards, replicas, objSize int) {
+	start := time.Now()
+	cfg := crashcheck.DefaultClusterConfig(seed)
+	if points > 0 {
+		cfg.Points = points
+	}
+	cfg.Shards = shards
+	cfg.Replicas = replicas
+	if objSize > 0 {
+		cfg.ObjSize = objSize
+	}
+	res := crashcheck.ClusterSweep(cfg)
+	fmt.Printf("cluster %dx%d seed=%-4d points=%-4d events=%-6d failovers=%-4d resyncs=%-4d replays=%-5d shipped=%-5d violations=%d\n",
+		cfg.Shards, cfg.Replicas, res.Seed, res.Points, res.Events,
+		res.Failovers, res.Resyncs, res.Replayed, res.Shipped, res.ViolationCount)
+	for _, v := range res.Violations {
+		fmt.Printf("  VIOLATION %v\n", v)
+	}
+	if res.ViolationCount > len(res.Violations) {
+		fmt.Printf("  ... %d further violations truncated\n", res.ViolationCount-len(res.Violations))
+	}
+	if min := res.Minimal(); min != nil {
+		fmt.Printf("  minimal repro: -crashcheck -cluster -seed %d -points %d -shards %d -replicas %d  crash at {%v} (t=%v)\n",
+			min.Seed, cfg.Points, cfg.Shards, cfg.Replicas, min.Point, min.At)
+	}
+	fmt.Fprintf(os.Stderr, "[cluster crashcheck done in %v]\n", time.Since(start).Round(time.Millisecond))
+	if res.ViolationCount > 0 {
+		fmt.Fprintf(os.Stderr, "crashcheck: cluster sweep violated failover invariants\n")
+		os.Exit(1)
+	}
+}
+
 // crashcheckMain is the -crashcheck entry point; it exits non-zero when
 // any sweep finds a violation.
 func crashcheckMain(o crashcheckOptions) {

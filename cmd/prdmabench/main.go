@@ -14,6 +14,9 @@
 //	prdmabench -crashcheck         # crash-point sweep over every durable RPC family
 //	prdmabench -crashcheck -family WFlush -points 50 -torn 10   # short smoke sweep
 //	prdmabench -crashcheck -ackbug -objsize 16384   # demo: catch the §2.4 premature-ack bug (exit 1)
+//	prdmabench -cluster            # sharded replicated KV: failover figure (4 shards x 3 replicas)
+//	prdmabench -cluster -shards 8 -replicas 5 -scale full       # bigger deployment
+//	prdmabench -crashcheck -cluster -points 20   # crash-point sweep over the cluster failover/resync path
 //
 // Experiment cells are independent deployments, so drivers fan them across
 // a worker pool (-parallel). Output is byte-identical at any setting; only
@@ -50,7 +53,16 @@ func main() {
 	torn := flag.Int("torn", 40, "crashcheck: additional mid-persist (torn-write) crash points per cell")
 	ackbug := flag.Bool("ackbug", false, "crashcheck: re-introduce the §2.4 premature-ack bug to demonstrate the sweep catching it (expect exit 1)")
 	objsize := flag.Int("objsize", 0, "crashcheck: per-request object bytes (0 = harness default)")
+	clusterRun := flag.Bool("cluster", false, "run the sharded replicated-KV failover figure (or, with -crashcheck, the cluster crash-point sweep)")
+	shards := flag.Int("shards", 4, "cluster: number of shard groups")
+	replicas := flag.Int("replicas", 3, "cluster: replication factor per shard")
 	flag.Parse()
+	pointsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "points" {
+			pointsSet = true
+		}
+	})
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -65,6 +77,20 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *ccheck && *clusterRun {
+		pts := 0
+		if pointsSet {
+			pts = *points
+		}
+		clusterCrashcheckMain(int64(*seed), pts, *shards, *replicas, *objsize)
+		if *memprofile != "" {
+			if err := writeHeapProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 	if *ccheck {
 		crashcheckMain(crashcheckOptions{
 			family:   *family,
@@ -154,6 +180,10 @@ func main() {
 	}
 
 	ran := false
+	if *clusterRun {
+		run("cluster", func() []bench.Table { return o.ClusterFigures(*shards, *replicas) })
+		ran = true
+	}
 	if *fig != 0 {
 		fn, ok := figs[*fig]
 		if !ok {

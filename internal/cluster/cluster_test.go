@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"prdma/internal/sim"
+)
+
+func quickParams() Params {
+	p := DefaultParams()
+	p.Shards = 2
+	p.Replicas = 3
+	p.PoolSize = 2
+	p.Objects = 256
+	p.ObjSize = 64
+	return p
+}
+
+// TestClusterPutGetConverges drives a healthy cluster and checks every
+// acknowledged write is byte-identical on all replicas once settled.
+func TestClusterPutGetConverges(t *testing.T) {
+	k := sim.New()
+	c, err := New(k, quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := c.StartController()
+	var res *LoadResult
+	k.Go("main", func(p *sim.Proc) {
+		res, err = c.RunLoad(p, Load{Clients: 8, Ops: 400, ReadFrac: 0.5, Verify: true, Seed: 3})
+		if err != nil {
+			t.Error(err)
+		}
+		p.Sleep(2 * time.Millisecond) // engines apply
+		ct.Stop()
+	})
+	k.Run()
+	if res == nil || len(res.Samples) != 400 {
+		t.Fatalf("samples: got %v", res)
+	}
+	if res.Errors != 0 || res.BadReads != 0 {
+		t.Fatalf("errors=%d badReads=%d", res.Errors, res.BadReads)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes == 0 || res.Reads == 0 {
+		t.Fatalf("degenerate mix: %d writes %d reads", res.Writes, res.Reads)
+	}
+}
+
+// TestClusterFailover crashes a shard primary mid-load: the controller must
+// detect it, promote a survivor, resync the rejoiner, and no acknowledged
+// write may be lost or diverge.
+func TestClusterFailover(t *testing.T) {
+	k := sim.New()
+	p := quickParams()
+	c, err := New(k, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := c.StartController()
+	var res *LoadResult
+	k.Go("main", func(mp *sim.Proc) {
+		// Crash shard 0's primary once traffic is flowing.
+		k.AfterFunc(500*time.Microsecond, func() {
+			c.CrashReplica(0, c.Shards[0].Primary)
+		})
+		res, err = c.RunLoad(mp, Load{Clients: 8, Ops: 1200, ReadFrac: 0.5, Verify: true, Seed: 7})
+		if err != nil {
+			t.Error(err)
+		}
+		if !c.AwaitHealthy(mp, 50*time.Millisecond) {
+			t.Error("cluster never became healthy again")
+		}
+		mp.Sleep(2 * time.Millisecond)
+		ct.Stop()
+	})
+	k.Run()
+	if res == nil {
+		t.Fatal("no result")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d operations failed permanently", res.Errors)
+	}
+	if res.BadReads != 0 {
+		t.Fatalf("%d reads returned invalid payloads", res.BadReads)
+	}
+	sh := c.Shards[0]
+	if sh.Failovers == 0 {
+		t.Fatal("controller never detected the crash")
+	}
+	if sh.Promotions == 0 {
+		t.Fatal("no primary promotion")
+	}
+	if sh.Resyncs == 0 {
+		t.Fatal("replica never resynchronized")
+	}
+	if sh.Replicas[0].Restarts+sh.Replicas[1].Restarts+sh.Replicas[2].Restarts == 0 {
+		t.Fatal("victim never restarted")
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.LastEvent("resync-done"); got == 0 {
+		t.Fatal("no resync-done event recorded")
+	}
+}
+
+// TestClusterOpenLoop exercises the open-loop generator: latency includes
+// queueing delay, so with a deliberately overloaded arrival rate the mean
+// open-loop latency must exceed the closed-loop mean on the same cluster.
+func TestClusterOpenLoop(t *testing.T) {
+	run := func(open bool) (time.Duration, int) {
+		k := sim.New()
+		c, err := New(k, quickParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res *LoadResult
+		k.Go("main", func(p *sim.Proc) {
+			l := Load{Clients: 4, Ops: 300, ReadFrac: 0.5, Seed: 11}
+			if open {
+				l.OpenLoop = true
+				l.Rate = 2e6 // well past 4 workers' capacity: queueing builds
+			}
+			res, err = c.RunLoad(p, l)
+			if err != nil {
+				t.Error(err)
+			}
+		})
+		k.Run()
+		if res == nil || len(res.Samples) != 300 {
+			t.Fatal("missing samples")
+		}
+		var sum time.Duration
+		for _, s := range res.Samples {
+			sum += s.Dur
+		}
+		return sum / time.Duration(len(res.Samples)), len(res.Samples)
+	}
+	closedMean, _ := run(false)
+	openMean, _ := run(true)
+	if openMean <= closedMean {
+		t.Fatalf("overloaded open-loop mean %v should exceed closed-loop %v (queueing)", openMean, closedMean)
+	}
+}
+
+// TestClusterRouting pins routing determinism: the same key always lands on
+// the same shard, and the load spreads across all shards.
+func TestClusterRouting(t *testing.T) {
+	k := sim.New()
+	c, err := New(k, quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	for key := uint64(0); key < 512; key++ {
+		s := c.Ring.Shard(key)
+		if s2 := c.Ring.Shard(key); s2 != s {
+			t.Fatalf("key %d routed to %d then %d", key, s, s2)
+		}
+		seen[s]++
+	}
+	if len(seen) != c.P.Shards {
+		t.Fatalf("only %d of %d shards received keys", len(seen), c.P.Shards)
+	}
+}

@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"time"
+
+	"prdma/internal/replicate"
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+)
+
+// Event is one failover milestone, timestamped for the figure driver's
+// phase bucketing.
+type Event struct {
+	At             sim.Time
+	Kind           string // detect | promote | resync-start | resync-done | resync-abort
+	Shard, Replica int
+}
+
+// Controller is the membership/failover controller: a sim-timer-driven
+// failure detector plus the promotion and resync choreography.
+//
+// Detection: the controller polls every replica's liveness each CheckEvery
+// (a heartbeat stand-in). On a crash it marks the replica down on every
+// pooled client — writes shrink to the live set, reads divert via the
+// staleness guard — and, if the victim was the shard primary, promotes the
+// next live in-sync replica once that replica's redo log has fully
+// replayed (engine queue drained).
+//
+// Resync: when the victim restarts, the controller re-establishes every
+// pooled connection to it (replaying each connection's durable redo-log
+// backlog server-side, with no client re-transmission — the paper's §4.2
+// recovery), then ships the deduplicated acknowledged-write log for the
+// down window (latest image per key, completion time ≥ pendingSince−Grace)
+// over its own dedicated connection. Shipping runs in rounds while traffic
+// continues; the final round runs with every pooled client held, so no
+// write can be in flight when the replica is readmitted — MarkUp therefore
+// never misses an acknowledged write.
+type Controller struct {
+	C       *Cluster
+	Events  []Event
+	stopped bool
+}
+
+// StartController begins failure detection on a dedicated proc.
+func (c *Cluster) StartController() *Controller {
+	ct := &Controller{C: c}
+	c.K.Go("failover-ctl", ct.loop)
+	return ct
+}
+
+// Stop ends detection after the current poll; outstanding resyncs finish.
+func (ct *Controller) Stop() { ct.stopped = true }
+
+func (ct *Controller) event(at sim.Time, kind string, s, r int) {
+	ct.Events = append(ct.Events, Event{At: at, Kind: kind, Shard: s, Replica: r})
+}
+
+// LastEvent returns the time of the most recent event of the given kind
+// (zero if none).
+func (ct *Controller) LastEvent(kind string) sim.Time {
+	var at sim.Time
+	for _, e := range ct.Events {
+		if e.Kind == kind {
+			at = e.At
+		}
+	}
+	return at
+}
+
+func (ct *Controller) loop(p *sim.Proc) {
+	for !ct.stopped {
+		for _, sh := range ct.C.Shards {
+			for r, rep := range sh.Replicas {
+				switch {
+				case !rep.alive && !sh.ctl.Down(r):
+					ct.detect(p, sh, r)
+				case rep.alive && sh.ctl.Down(r) && !sh.resyncing[r]:
+					sh.resyncing[r] = true
+					s, rr := sh, r
+					ct.C.K.Go("resync", func(rp *sim.Proc) { ct.resync(rp, s, rr) })
+				}
+			}
+		}
+		p.Sleep(ct.C.P.CheckEvery)
+	}
+}
+
+// detect marks the replica down across every client and promotes a new
+// primary if the victim held the role. No yields before the marks: the
+// membership flip is atomic under the cooperative scheduler.
+func (ct *Controller) detect(p *sim.Proc, sh *Shard, r int) {
+	now := p.Now()
+	if sh.pendingSince[r] == 0 {
+		sh.pendingSince[r] = now
+	}
+	sh.ctl.MarkDown(r)
+	for _, cl := range sh.clients {
+		cl.MarkDown(r)
+	}
+	sh.Failovers++
+	sh.DetectLag += now.Sub(sh.Replicas[r].crashedAt)
+	ct.event(now, "detect", sh.ID, r)
+	if sh.Primary == r {
+		ct.promote(sh, r)
+	}
+}
+
+// promote elects the next live, in-sync replica as the shard primary and
+// records the promotion once the new primary's redo log has replayed
+// (engine queue drained — its backlog is applied, so it serves the full
+// acknowledged prefix).
+func (ct *Controller) promote(sh *Shard, down int) {
+	n := len(sh.Replicas)
+	next := -1
+	for off := 1; off < n; off++ {
+		i := (down + off) % n
+		if sh.Replicas[i].alive && !sh.ctl.Down(i) {
+			next = i
+			break
+		}
+	}
+	if next < 0 {
+		return // no live replica; the shard is unavailable until a restart
+	}
+	sh.Primary = next
+	sh.Promotions++
+	ct.C.K.Go("promote-drain", func(p *sim.Proc) {
+		rep := sh.Replicas[next]
+		for rep.alive && rep.Engine.QueueDepth() > 0 {
+			p.Sleep(20 * time.Microsecond)
+		}
+		ct.event(p.Now(), "promote", sh.ID, next)
+	})
+}
+
+// resync readmits a restarted replica (see Controller doc). It aborts —
+// keeping the replica marked down and its pendingSince floor — if the
+// replica crashes again mid-resync; the detector loop restarts the
+// procedure after the next restart.
+func (ct *Controller) resync(p *sim.Proc, sh *Shard, r int) {
+	defer func() { sh.resyncing[r] = false }()
+	// One resync at a time per shard: the readmission barrier below holds
+	// the whole connection pool.
+	for sh.resyncBusy {
+		p.Sleep(50 * time.Microsecond)
+	}
+	sh.resyncBusy = true
+	defer func() { sh.resyncBusy = false }()
+
+	rep := sh.Replicas[r]
+	start := p.Now()
+	ct.event(start, "resync-start", sh.ID, r)
+	abort := func() { ct.event(p.Now(), "resync-abort", sh.ID, r) }
+
+	// hold collects the whole connection pool behind the quiesce gate (new
+	// operations divert at Shard.acquire, so this completes in bounded time
+	// under load); release readmits it.
+	held := make([]*replicate.Client, 0, len(sh.clients))
+	hold := func() {
+		sh.quiesce = true
+		held = held[:0]
+		for range sh.clients {
+			held = append(held, sh.pool.Pop(p))
+		}
+	}
+	release := func() {
+		for _, cl := range held {
+			sh.pool.Push(cl)
+		}
+		sh.quiesce = false
+	}
+
+	// 1. Rebuild every connection to the victim — the controller's and the
+	// whole pool's — and replay their durable redo-log backlogs. Replayed
+	// entries can be OLDER versions of keys the down window later
+	// overwrote, so every replay must land in the victim's engine before
+	// the first shipped image: the latest acknowledged image is then always
+	// the last write to apply.
+	hold()
+	sh.Replayed += int64(ct.reestablish(p, sh.ctl, r))
+	for _, cl := range held {
+		sh.Replayed += int64(ct.reestablish(p, cl, r))
+	}
+	release()
+	if !rep.alive {
+		abort()
+		return
+	}
+
+	// 2. Catch-up ship rounds while traffic continues: latest acknowledged
+	// image per key for every write the replica may have missed. Under
+	// sustained write load the rounds may never reach zero (each ships the
+	// writes that landed during the previous one), so they are capped — the
+	// barrier's final round below closes the gap, these only shrink it.
+	shipFloor := sh.pendingSince[r].Add(-ct.C.P.Grace)
+	shippedAt := make(map[uint64]sim.Time, len(sh.wrote))
+	for round := 0; ; round++ {
+		n, err := ct.ship(p, sh, r, shipFloor, shippedAt)
+		if err != nil || !rep.alive {
+			abort()
+			return
+		}
+		sh.Shipped += int64(n)
+		if n == 0 || round >= 3 {
+			break
+		}
+	}
+
+	// 3. Readmission barrier: hold every pooled client (no write can be in
+	// flight or complete), ship the delta since the last round, wait for
+	// the victim to apply, then readmit everywhere — MarkUp therefore never
+	// misses an acknowledged write.
+	hold()
+	n, err := ct.ship(p, sh, r, shipFloor, shippedAt)
+	if err != nil || !rep.alive {
+		release()
+		abort()
+		return
+	}
+	sh.Shipped += int64(n)
+	if !ct.waitApplied(p, rep) {
+		release()
+		abort()
+		return
+	}
+	sh.ctl.MarkUp(r)
+	for _, cl := range held {
+		cl.MarkUp(r)
+	}
+	sh.pendingSince[r] = 0
+	release()
+	sh.Resyncs++
+	sh.ResyncTime += p.Now().Sub(start)
+	ct.event(p.Now(), "resync-done", sh.ID, r)
+}
+
+// reestablish rebuilds one client's connection to replica r, replaying its
+// durable redo-log backlog server-side.
+func (ct *Controller) reestablish(p *sim.Proc, cl *replicate.Client, r int) int {
+	rec, ok := cl.Replica(r).(rpc.Recoverable)
+	if !ok {
+		return 0
+	}
+	return rec.Reestablish(p)
+}
+
+// shipWindow is the ship pipeline depth: enough outstanding writes on the
+// controller connection that shipping outruns the cluster's write arrival
+// rate (a serial ship round could otherwise never catch up).
+const shipWindow = 16
+
+// ship sends the latest acknowledged image of every key whose record is at
+// or after floor and not yet shipped at its current version, pipelined
+// shipWindow deep on the controller's dedicated connection. Keys go in
+// ascending order — deterministic for a fixed seed.
+func (ct *Controller) ship(p *sim.Proc, sh *Shard, r int, floor sim.Time, shippedAt map[uint64]sim.Time) (int, error) {
+	ac, ok := sh.ctl.Replica(r).(rpc.AsyncClient)
+	if !ok {
+		return 0, nil
+	}
+	var reqs [shipWindow]rpc.Request
+	pend := make([]*rpc.Pending, 0, shipWindow)
+	drain := func() error {
+		for _, pd := range pend {
+			if _, ok := pd.Durable.WaitTimeout(p, ct.C.P.Retry*8); !ok {
+				return rpc.ErrTimeout
+			}
+		}
+		pend = pend[:0]
+		return nil
+	}
+	n := 0
+	for _, key := range sh.sortedWroteKeys() {
+		w := sh.wrote[key]
+		if w.at < floor || shippedAt[key] == w.at {
+			continue
+		}
+		at := w.at // snapshot: if the record advances mid-flight, re-ship next round
+		req := &reqs[len(pend)]
+		*req = rpc.Request{Op: rpc.OpWrite, Key: keyIndex(key, ct.C.P.Objects), Size: len(w.buf), Payload: w.buf}
+		pd, err := ac.CallAsync(p, req)
+		if err != nil {
+			return n, err
+		}
+		pend = append(pend, pd)
+		shippedAt[key] = at
+		n++
+		if len(pend) == shipWindow {
+			if err := drain(); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, drain()
+}
+
+// waitApplied waits until the replica's engine queue is drained and its
+// workers have had time to finish in-flight applies.
+func (ct *Controller) waitApplied(p *sim.Proc, rep *Replica) bool {
+	for rep.Engine.QueueDepth() > 0 {
+		if !rep.alive {
+			return false
+		}
+		p.Sleep(20 * time.Microsecond)
+	}
+	p.Sleep(100 * time.Microsecond) // workers mid-apply
+	return rep.alive && rep.Engine.QueueDepth() == 0
+}

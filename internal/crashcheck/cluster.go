@@ -1,0 +1,275 @@
+// Cluster mode: the crash-point sweep applied to a sharded, replicated
+// deployment (internal/cluster). Each point replays the same cluster
+// workload, crashes one replica at a chosen event boundary — landing
+// anywhere in the issue/failover/resync state space — optionally crashes a
+// second replica of the same shard while the first resync is in flight,
+// lets the failover controller run to completion, and asserts the cluster
+// contract:
+//
+//  1. No acknowledged write is lost: every Put that returned success is
+//     present, untorn, on every live replica of its shard.
+//  2. Replicas converge byte-identically: live replicas of a shard hold
+//     identical bytes for every acknowledged key (single-writer keys make
+//     apply order deterministic across replicas).
+//  3. Liveness: the workload finishes, no operation fails permanently, and
+//     the cluster returns to full health (victim readmitted) before the
+//     settle horizon.
+//  4. Read sanity: every read during the run returned a well-formed
+//     payload no newer than the issued history.
+package crashcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"prdma/internal/cluster"
+	"prdma/internal/sim"
+)
+
+// ClusterConfig parameterizes one cluster-mode sweep.
+type ClusterConfig struct {
+	// Seed drives the workload, the placement ring, and point selection.
+	Seed int64
+	// Points is how many event-boundary crash points to sweep.
+	Points int
+	// SecondCrashEvery arms a second crash — a different replica of the
+	// same shard, timed to land during the first resync window — at every
+	// n-th point. 0 disables.
+	SecondCrashEvery int
+	// Ops and Clients size the closed-loop verified workload.
+	Ops, Clients int
+	// Shards and Replicas shape the deployment.
+	Shards, Replicas int
+	// ObjSize is the object size in bytes (≥ 16 for versioned payloads).
+	ObjSize int
+}
+
+// DefaultClusterConfig returns a CI-sized cluster sweep: a 2-shard,
+// 3-replica quorum cluster, small objects, enough operations that crashes
+// land across issue, failover, and resync phases.
+func DefaultClusterConfig(seed int64) ClusterConfig {
+	return ClusterConfig{
+		Seed:             seed,
+		Points:           60,
+		SecondCrashEvery: 6,
+		Ops:              240,
+		Clients:          6,
+		Shards:           2,
+		Replicas:         3,
+		ObjSize:          64,
+	}
+}
+
+// ClusterViolation is one broken cluster invariant at one crash point.
+type ClusterViolation struct {
+	Seed  int64
+	Point Point
+	At    sim.Time
+	Msg   string
+}
+
+func (v ClusterViolation) String() string {
+	return fmt.Sprintf("cluster seed=%d %v at=%v: %s", v.Seed, v.Point, v.At, v.Msg)
+}
+
+// ClusterResult summarizes one cluster sweep.
+type ClusterResult struct {
+	Seed   int64
+	Points int
+	// Events is the event count of the crash-free reference load.
+	Events uint64
+	// Failovers/Resyncs/Replayed/Shipped total the controller work across
+	// all points.
+	Failovers, Resyncs, Replayed, Shipped int64
+	Violations                            []ClusterViolation
+	ViolationCount                        int
+}
+
+// Minimal returns the earliest-crash violation, nil when clean.
+func (r *ClusterResult) Minimal() *ClusterViolation {
+	var min *ClusterViolation
+	for i := range r.Violations {
+		v := &r.Violations[i]
+		if min == nil || v.Point.Event < min.Point.Event {
+			min = v
+		}
+	}
+	return min
+}
+
+// clusterRun is one deployment plus its workload driver.
+type clusterRun struct {
+	k   *sim.Kernel
+	c   *cluster.Cluster
+	ct  *cluster.Controller
+	res *cluster.LoadResult
+	err error
+
+	loadDone      bool
+	loadEndEvents uint64
+}
+
+func newClusterRun(cfg ClusterConfig) *clusterRun {
+	k := sim.New()
+	p := cluster.DefaultParams()
+	p.Shards = cfg.Shards
+	p.Replicas = cfg.Replicas
+	p.PoolSize = 2
+	p.Objects = 128
+	p.ObjSize = cfg.ObjSize
+	p.Seed = uint64(cfg.Seed) | 1
+	r := &clusterRun{k: k}
+	c, err := cluster.New(k, p)
+	if err != nil {
+		panic(err)
+	}
+	r.c = c
+	r.ct = c.StartController()
+	k.Go("cluster-load", func(mp *sim.Proc) {
+		r.res, r.err = c.RunLoad(mp, cluster.Load{
+			Clients:  cfg.Clients,
+			Ops:      cfg.Ops,
+			ReadFrac: 0.3,
+			Verify:   true,
+			Seed:     uint64(cfg.Seed) | 1,
+		})
+		r.loadDone = true
+		r.loadEndEvents = k.Fired()
+	})
+	return r
+}
+
+// settle advances the run until the load completes and the cluster is
+// healthy again (or the bounded horizon passes), then gives the engines a
+// final apply window. The controller polls forever, so the event queue
+// never drains; time bounds the run instead.
+func (r *clusterRun) settle() {
+	for i := 0; i < 60 && !(r.loadDone && r.c.Healthy()); i++ {
+		r.k.RunUntil(r.k.Now().Add(2 * time.Millisecond))
+	}
+	r.k.RunUntil(r.k.Now().Add(3 * time.Millisecond))
+}
+
+// verify checks the cluster contract after settle.
+func (r *clusterRun) verify() []string {
+	var out []string
+	bad := func(format string, a ...any) {
+		out = append(out, fmt.Sprintf(format, a...))
+	}
+	if !r.loadDone {
+		bad("workload never finished before the settle horizon")
+		return out
+	}
+	if r.err != nil {
+		bad("load error: %v", r.err)
+	}
+	if r.res.Errors != 0 {
+		bad("%d operations failed permanently", r.res.Errors)
+	}
+	if r.res.BadReads != 0 {
+		bad("%d reads returned malformed or future payloads", r.res.BadReads)
+	}
+	if !r.c.Healthy() {
+		bad("cluster not healthy at horizon (replica still down or resyncing)")
+	}
+	// Invariants 1+2: acked writes present and byte-identical on every
+	// live replica.
+	if err := r.c.CheckConsistency(); err != nil {
+		bad("consistency: %v", err)
+	}
+	return out
+}
+
+func (r *clusterRun) counters(res *ClusterResult) {
+	for _, sh := range r.c.Shards {
+		res.Failovers += sh.Failovers
+		res.Resyncs += sh.Resyncs
+		res.Replayed += sh.Replayed
+		res.Shipped += sh.Shipped
+	}
+}
+
+// ClusterSweep runs the crash-free reference to size the event space, then
+// replays the cluster workload once per crash point.
+func ClusterSweep(cfg ClusterConfig) ClusterResult {
+	res := ClusterResult{Seed: cfg.Seed}
+
+	ref := newClusterRun(cfg)
+	ref.settle()
+	res.Events = ref.loadEndEvents
+	record := func(r *clusterRun, pt Point, at sim.Time, msgs []string) {
+		for _, msg := range msgs {
+			res.ViolationCount++
+			if len(res.Violations) < maxViolations {
+				res.Violations = append(res.Violations, ClusterViolation{
+					Seed: cfg.Seed, Point: pt, At: at, Msg: msg,
+				})
+			}
+		}
+	}
+	record(ref, Point{}, ref.k.Now(), ref.verify())
+
+	points := pickClusterPoints(cfg, res.Events)
+	res.Points = len(points)
+	restart := cluster.DefaultParams().Restart
+	for _, pt := range points {
+		r := newClusterRun(cfg)
+		r.k.RunEvents(pt.Event)
+		at := r.k.Now()
+		// The victim cycles deterministically through every (shard,
+		// replica) pair as the event index advances.
+		s := int(pt.Event) % cfg.Shards
+		rep := int(pt.Event/uint64(cfg.Shards)) % cfg.Replicas
+		r.c.CrashReplica(s, rep)
+		if pt.SecondCrash {
+			// A second replica of the same shard fails while the first
+			// victim's recovery/resync is typically in flight.
+			delta := time.Duration(pt.Event%40) * 50 * time.Microsecond
+			second := (rep + 1) % cfg.Replicas
+			r.k.AfterFunc(restart+delta, func() { r.c.CrashReplica(s, second) })
+		}
+		r.settle()
+		r.counters(&res)
+		record(r, pt, at, r.verify())
+	}
+	return res
+}
+
+// pickClusterPoints samples distinct event boundaries across the reference
+// load's event space.
+func pickClusterPoints(cfg ClusterConfig, events uint64) []Point {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x7E57C0DE))
+	lo := uint64(50)
+	if events <= lo+2 {
+		lo = 1
+	}
+	span := int64(events - lo)
+	if span <= 0 {
+		span = 1
+	}
+	seen := make(map[uint64]bool)
+	var points []Point
+	n := cfg.Points
+	if uint64(n) > uint64(span) {
+		n = int(span)
+	}
+	for len(points) < n {
+		e := lo + uint64(rng.Int63n(span))
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		points = append(points, Point{Event: e})
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Event < points[j].Event })
+	if cfg.SecondCrashEvery > 0 {
+		for i := range points {
+			if (i+1)%cfg.SecondCrashEvery == 0 {
+				points[i].SecondCrash = true
+			}
+		}
+	}
+	return points
+}

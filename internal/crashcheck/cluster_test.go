@@ -1,0 +1,55 @@
+package crashcheck
+
+import (
+	"testing"
+)
+
+// TestClusterSweepClean sweeps a reduced point set over the cluster
+// failover/resync path: no acknowledged write may be lost and replicas
+// must converge byte-identically at every crash placement.
+func TestClusterSweepClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep is seconds-long")
+	}
+	cfg := DefaultClusterConfig(1)
+	cfg.Points = 12
+	cfg.SecondCrashEvery = 4
+	res := ClusterSweep(cfg)
+	if res.ViolationCount != 0 {
+		for _, v := range res.Violations {
+			t.Error(v)
+		}
+		t.Fatalf("%d violations over %d points (minimal: %v)",
+			res.ViolationCount, res.Points, res.Minimal())
+	}
+	if res.Points != 12 {
+		t.Fatalf("swept %d points, want 12", res.Points)
+	}
+	if res.Failovers == 0 {
+		t.Fatal("no crash was ever detected — the sweep tested nothing")
+	}
+	if res.Resyncs == 0 {
+		t.Fatal("no resync completed — readmission path untested")
+	}
+	if res.Shipped == 0 {
+		t.Fatal("log shipping never ran")
+	}
+}
+
+// TestClusterSweepDeterministic replays one point twice and expects
+// identical outcomes (event count, controller work, violations).
+func TestClusterSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep is seconds-long")
+	}
+	cfg := DefaultClusterConfig(7)
+	cfg.Points = 3
+	cfg.SecondCrashEvery = 0
+	a := ClusterSweep(cfg)
+	b := ClusterSweep(cfg)
+	if a.Events != b.Events || a.Failovers != b.Failovers ||
+		a.Resyncs != b.Resyncs || a.Shipped != b.Shipped ||
+		a.Replayed != b.Replayed || a.ViolationCount != b.ViolationCount {
+		t.Fatalf("sweep not deterministic:\n  a=%+v\n  b=%+v", a, b)
+	}
+}

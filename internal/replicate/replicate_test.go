@@ -193,6 +193,107 @@ func TestRejectsNonAsyncClients(t *testing.T) {
 	}
 }
 
+// TestQuorumReadSkipsStaleReplica is the regression test for the read-path
+// fix: under WaitQuorum a write completes before the straggler's ACK, and a
+// read issued immediately afterwards must not land on the lagging replica
+// (the old code always read replica 0). The straggler is replica 0, so any
+// read it serves would return pre-write data.
+func TestQuorumReadSkipsStaleReplica(t *testing.T) {
+	k := sim.New()
+	net := fabric.New(k, fabric.DefaultParams(), 17)
+	cli := host.New(k, "cli", net, host.DefaultParams(), pmem.DefaultParams(), rnic.DefaultParams())
+	var clients []rpc.Client
+	for i := 0; i < 3; i++ {
+		pp := pmem.DefaultParams()
+		if i == 0 {
+			// Replica 0 (the old hard-wired read target) persists ~200 µs
+			// late, so its WFlush ACK reliably trails the quorum and any
+			// immediate read round trip.
+			pp.PersistBase = 200 * time.Microsecond
+		}
+		srv := host.New(k, nameOf(i), net, host.DefaultParams(), pp, rnic.DefaultParams())
+		store, err := rpc.NewStore(srv, 128, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := rpc.DefaultConfig()
+		cfg.Workers = 1 // FIFO apply: a read behind a write sees it applied
+		engine := rpc.NewServer(srv, store, cfg)
+		clients = append(clients, rpc.New(rpc.WFlushRPC, cli, engine, cfg))
+	}
+	c, err := New(k, WaitQuorum, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops = 10
+	k.Go("driver", func(p *sim.Proc) {
+		for v := 0; v < ops; v++ {
+			payload := bytes.Repeat([]byte{byte(0x40 + v)}, 1024)
+			if _, _, err := c.Write(p, &rpc.Request{Op: rpc.OpWrite, Key: 9, Size: 1024, Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+			// Read immediately: quorum met on replicas 1/2; replica 0 has
+			// not acked yet and must be skipped by the staleness guard.
+			resp, err := c.Read(p, &rpc.Request{Op: rpc.OpRead, Key: 9, Size: 1024, Payload: []byte{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(resp.Data, payload) {
+				t.Fatalf("op %d: read returned stale data", v)
+			}
+		}
+	})
+	k.Run()
+	if c.ReadsByReplica[0] != 0 {
+		t.Errorf("%d reads landed on the lagging replica 0", c.ReadsByReplica[0])
+	}
+	if c.StaleSkips == 0 {
+		t.Error("staleness guard never skipped the straggler")
+	}
+	if got := c.ReadsByReplica[1] + c.ReadsByReplica[2]; got != ops {
+		t.Errorf("in-sync replicas served %d reads, want %d", got, ops)
+	}
+}
+
+// TestMembershipWriteSet checks MarkDown/MarkUp semantics: a marked-down
+// replica receives no writes, WaitAll completes over the live set, a
+// minority-live quorum refuses writes, and MarkUp credits the rejoiner as
+// in sync again.
+func TestMembershipWriteSet(t *testing.T) {
+	r := newRig(t, 3, rpc.WFlushRPC, -1)
+	c, _ := New(r.k, WaitQuorum, r.clients)
+	all, _ := New(r.k, WaitAll, r.clients)
+	r.k.Go("driver", func(p *sim.Proc) {
+		c.MarkDown(2)
+		if _, acked, err := c.Write(p, &rpc.Request{Op: rpc.OpWrite, Key: 3, Size: 1024}); err != nil || acked > 2 {
+			t.Errorf("quorum write with one down replica: acked=%d err=%v", acked, err)
+		}
+		if c.InSync(2) {
+			t.Error("down replica reported in sync")
+		}
+		c.MarkDown(1)
+		if _, _, err := c.Write(p, &rpc.Request{Op: rpc.OpWrite, Key: 3, Size: 1024}); err != ErrUnavailable {
+			t.Errorf("minority-live quorum write: err=%v, want ErrUnavailable", err)
+		}
+		c.MarkUp(1)
+		c.MarkUp(2)
+		if !c.InSync(2) {
+			t.Error("readmitted replica not in sync")
+		}
+		// WaitAll over a shrunken live set completes at 2 ACKs.
+		all.MarkDown(0)
+		if _, acked, err := all.Write(p, &rpc.Request{Op: rpc.OpWrite, Key: 4, Size: 1024}); err != nil || acked != 2 {
+			t.Errorf("wait-all over live set: acked=%d err=%v", acked, err)
+		}
+	})
+	r.k.Run()
+	// Replica 2 missed the first quorum write; it must not serve reads for
+	// it, and the second client's replica 0 likewise.
+	if c.ReadsByReplica == nil || len(c.ReadsByReplica) != 3 {
+		t.Fatal("ReadsByReplica not sized to the replica set")
+	}
+}
+
 func TestWriteRejectsReads(t *testing.T) {
 	r := newRig(t, 2, rpc.WFlushRPC, -1)
 	c, _ := New(r.k, WaitAll, r.clients)

@@ -11,6 +11,7 @@ import (
 	"io"
 	"time"
 
+	"prdma/internal/cluster"
 	"prdma/internal/fabric"
 	"prdma/internal/failure"
 	"prdma/internal/host"
@@ -55,6 +56,10 @@ type Spec struct {
 	// the FaRM baseline only).
 	Crashes *CrashSpec `json:"crashes"`
 
+	// Cluster runs the workload against a sharded, replicated durable-KV
+	// cluster (internal/cluster) instead of a single server.
+	Cluster *ClusterSpec `json:"cluster"`
+
 	// Trace records up to TraceEvents model events (NIC staging, flush
 	// ACKs, retransmissions, crashes, recovery) into the report.
 	Trace       bool `json:"trace"`
@@ -67,6 +72,20 @@ type CrashSpec struct {
 	RestartMS    int `json:"restartMS"`
 	RetransferMS int `json:"retransferMS"`
 	Pipeline     int `json:"pipeline"`
+}
+
+// ClusterSpec shapes the sharded, replicated deployment.
+type ClusterSpec struct {
+	Shards   int `json:"shards"`
+	Replicas int `json:"replicas"`
+	// CrashPrimary crashes shard 0's primary once a fifth of the
+	// operations have completed; the failover controller must promote a
+	// survivor, resynchronize the victim, and lose no acknowledged write.
+	CrashPrimary bool `json:"crashPrimary"`
+	// OpenLoop switches the load generator to Poisson arrivals at
+	// RatePerSec ops/s (closed loop otherwise).
+	OpenLoop   bool    `json:"openLoop"`
+	RatePerSec float64 `json:"ratePerSec"`
 }
 
 // Report is the scenario outcome.
@@ -147,6 +166,9 @@ func (s *Spec) Run() (*Report, error) {
 	kind, err := kindByName(s.RPC)
 	if err != nil {
 		return nil, err
+	}
+	if s.Cluster != nil {
+		return s.runCluster(kind)
 	}
 
 	np := fabric.DefaultParams()
@@ -272,6 +294,118 @@ func (s *Spec) Run() (*Report, error) {
 	rep.P99US = us(lat.Percentile(99))
 	rep.Counters = s.counters(srv, engine)
 	s.attachTrace(rep, tr)
+	return rep, nil
+}
+
+// runCluster executes the scenario against a sharded, replicated cluster:
+// the workload fans over a consistent-hash ring of Shards replication
+// groups, optionally losing one shard primary mid-run. The run fails if
+// any operation fails permanently, any read returns a malformed payload,
+// the victim is never readmitted, or any acknowledged write is lost or
+// diverges across replicas.
+func (s *Spec) runCluster(kind rpc.Kind) (*Report, error) {
+	cs := s.Cluster
+	p := cluster.DefaultParams()
+	if cs.Shards > 0 {
+		p.Shards = cs.Shards
+	}
+	if cs.Replicas > 0 {
+		p.Replicas = cs.Replicas
+	}
+	p.Kind = kind
+	p.Objects = s.Objects
+	p.ObjSize = s.ObjectSize
+	p.Seed = s.Seed
+	p.Cfg.Workers = s.Workers
+	p.Cfg.ProcessingTime = time.Duration(s.ProcessingUS) * time.Microsecond
+
+	k := sim.New()
+	c, err := cluster.New(k, p)
+	if err != nil {
+		return nil, err
+	}
+	ct := c.StartController()
+	crashes := 0
+	if cs.CrashPrimary {
+		k.Go("crash-script", func(sp *sim.Proc) {
+			target := int64(s.Ops / 5)
+			for {
+				var total int64
+				for _, sh := range c.Shards {
+					total += sh.Puts + sh.Gets
+				}
+				if total >= target {
+					break
+				}
+				sp.Sleep(20 * time.Microsecond)
+			}
+			c.CrashReplica(0, c.Shards[0].Primary)
+			crashes++
+		})
+	}
+	var res *cluster.LoadResult
+	var loadErr error
+	healthy := true
+	k.Go("driver", func(mp *sim.Proc) {
+		res, loadErr = c.RunLoad(mp, cluster.Load{
+			Clients:  s.Clients,
+			Ops:      s.Ops,
+			ReadFrac: s.ReadFraction,
+			OpenLoop: cs.OpenLoop,
+			Rate:     cs.RatePerSec,
+			Verify:   true,
+			Seed:     s.Seed,
+		})
+		if loadErr != nil {
+			return
+		}
+		healthy = c.AwaitHealthy(mp, 200*time.Millisecond)
+		mp.Sleep(2 * time.Millisecond) // engines apply their tails
+		ct.Stop()
+	})
+	k.Run()
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	if res.Errors > 0 || res.BadReads > 0 {
+		return nil, fmt.Errorf("scenario: cluster run had %d failed ops, %d bad reads", res.Errors, res.BadReads)
+	}
+	if !healthy {
+		return nil, fmt.Errorf("scenario: cluster never returned to full health")
+	}
+	if err := c.CheckConsistency(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+
+	lat := stats.NewLatency(len(res.Samples))
+	for _, sm := range res.Samples {
+		lat.Add(sm.Dur)
+	}
+	elapsed := res.End.Sub(res.Start)
+	rep := &Report{
+		Name:    s.Name,
+		RPC:     kind.String(),
+		Ops:     len(res.Samples),
+		Elapsed: elapsed.String(),
+		KOPS:    stats.Throughput{Ops: len(res.Samples), Elapsed: elapsed}.KOPS(),
+		AvgUS:   us(lat.Mean()),
+		P50US:   us(lat.Percentile(50)),
+		P95US:   us(lat.Percentile(95)),
+		P99US:   us(lat.Percentile(99)),
+		Crashes: crashes,
+	}
+	rep.Counters = map[string]int64{}
+	for _, sh := range c.Shards {
+		rep.Counters["puts"] += sh.Puts
+		rep.Counters["gets"] += sh.Gets
+		rep.Counters["retries"] += sh.Retries
+		rep.Counters["failovers"] += sh.Failovers
+		rep.Counters["promotions"] += sh.Promotions
+		rep.Counters["resyncs"] += sh.Resyncs
+		rep.Counters["imagesShipped"] += sh.Shipped
+		rep.Counters["logReplayed"] += sh.Replayed
+		rep.Replayed = int(rep.Counters["logReplayed"])
+	}
 	return rep, nil
 }
 
