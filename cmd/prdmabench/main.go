@@ -17,6 +17,9 @@
 //	prdmabench -cluster            # sharded replicated KV: failover figure (4 shards x 3 replicas)
 //	prdmabench -cluster -shards 8 -replicas 5 -scale full       # bigger deployment
 //	prdmabench -crashcheck -cluster -points 20   # crash-point sweep over the cluster failover/resync path
+//	prdmabench -matrix             # adversarial fault x YCSB A-F matrix, crashcheck asserted per cell
+//	prdmabench -matrix -faults partition,gray -workloads AB -points 6   # reduced cell set
+//	prdmabench -matrix -mutant ackbug   # mutant-detection check: expect exit 1
 //
 // Experiment cells are independent deployments, so drivers fan them across
 // a worker pool (-parallel). Output is byte-identical at any setting; only
@@ -56,13 +59,14 @@ func main() {
 	clusterRun := flag.Bool("cluster", false, "run the sharded replicated-KV failover figure (or, with -crashcheck, the cluster crash-point sweep)")
 	shards := flag.Int("shards", 4, "cluster: number of shard groups")
 	replicas := flag.Int("replicas", 3, "cluster: replication factor per shard")
+	matrixRun := flag.Bool("matrix", false, "run the adversarial fault x YCSB workload matrix (cluster crash-point sweep per cell)")
+	faults := flag.String("faults", "", "matrix: comma-separated adversary names (default: every builtin; see -matrix -faults help)")
+	workloads := flag.String("workloads", "", "matrix: YCSB workload letters, e.g. ABF (default: A-F)")
+	mutant := flag.String("mutant", "", "matrix: seed a known bug class (ackbug|resurrect); the matrix must then fail (exit 1)")
 	flag.Parse()
-	pointsSet := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "points" {
-			pointsSet = true
-		}
-	})
+	flagSet := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
+	pointsSet := flagSet["points"]
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -77,6 +81,33 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *matrixRun {
+		o := matrixOptions{
+			seed:      int64(*seed),
+			faults:    *faults,
+			workloads: *workloads,
+			mutant:    *mutant,
+			parallel:  *parallel,
+			jsonOut:   *jsonOut,
+		}
+		if pointsSet {
+			o.points = *points
+		}
+		if flagSet["shards"] {
+			o.shards = *shards
+		}
+		if flagSet["replicas"] {
+			o.replicas = *replicas
+		}
+		matrixMain(o)
+		if *memprofile != "" {
+			if err := writeHeapProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 	if *ccheck && *clusterRun {
 		pts := 0
 		if pointsSet {

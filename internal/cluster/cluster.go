@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -41,6 +42,13 @@ type Params struct {
 	// failure-detector poll period; Grace pads the resync window to cover
 	// writes that completed between the crash and its detection.
 	Restart, Retry, CheckEvery, Grace time.Duration
+
+	// MutantResurrect seeds a known bug class for the fault-matrix
+	// mutant-detection check: it disables the stores' stale-write version
+	// guard and makes resync ship catch-up images BEFORE replaying the
+	// victim's redo-log backlogs, so replayed old versions can resurrect
+	// over newer acknowledged writes. Never set outside that check.
+	MutantResurrect bool
 
 	// Net/HostP/PM/NIC are the testbed parameters for every node.
 	Net   fabric.Params
@@ -115,6 +123,14 @@ type Shard struct {
 	wrote map[uint64]*wroteRec
 	keys  []uint64
 
+	// ackAudit, when non-nil (EnableAckAudit), tracks per replica the
+	// highest payload version that replica has durably acknowledged per
+	// store slot. A durable ACK claims remote persistence (§4.2), so a
+	// crashed replica's redo-log replay must restore at least this version
+	// — the invariant the crash-point auditor checks before any repair
+	// images are shipped.
+	ackAudit []map[uint64]uint32
+
 	// pendingSince is per-replica: the earliest moment an unresynced down
 	// window began (zero when fully synced). Resync ships every key whose
 	// acknowledged write completed at or after pendingSince-Grace.
@@ -165,6 +181,12 @@ func New(k *sim.Kernel, p Params) (*Cluster, error) {
 			store, err := rpc.NewStore(h, p.Objects, p.ObjSize)
 			if err != nil {
 				return nil, err
+			}
+			if !p.MutantResurrect {
+				// Verified payloads carry their version at byte 8 (see
+				// loadgen fill); the store guard keeps a stale duplicate or
+				// late retransmit from regressing a newer acked write.
+				store.VersionAt = 8
 			}
 			engine := rpc.NewServer(h, store, p.Cfg)
 			sh.Replicas = append(sh.Replicas, &Replica{Host: h, Store: store, Engine: engine, alive: true})
@@ -296,11 +318,80 @@ func (c *Cluster) CrashReplica(s, r int) {
 	rep.crashedAt = c.K.Now()
 	rep.Host.Crash()
 	rep.Engine.Crash()
+	rep.Store.Crash()
 	c.K.AfterFunc(c.P.Restart, func() {
 		rep.Host.Restart()
 		rep.alive = true
 		rep.Restarts++
 	})
+}
+
+// Retransmits totals RC retransmissions across every NIC in the cluster —
+// the "resends" column of the adversarial-matrix figure.
+func (c *Cluster) Retransmits() int64 {
+	total := c.Gateway.NIC.Retransmits
+	for _, sh := range c.Shards {
+		for _, rep := range sh.Replicas {
+			total += rep.Host.NIC.Retransmits
+		}
+	}
+	return total
+}
+
+// StaleDrops totals version-guarded writes the replica stores rejected as
+// stale (late duplicates or retransmits of overwritten versions).
+func (c *Cluster) StaleDrops() int64 {
+	var total int64
+	for _, sh := range c.Shards {
+		for _, rep := range sh.Replicas {
+			total += rep.Store.StaleDrops
+		}
+	}
+	return total
+}
+
+// EnableAckAudit starts recording, per shard and replica, the highest
+// payload version each replica durably acknowledges per store slot (the
+// loadgen payload layout: a little-endian uint32 version at byte 8). The
+// crash-point sweep reads the record back through AckedVersions to hold
+// every replica to its §4.2 ack contract: what you durably acknowledged,
+// your redo log must restore.
+func (c *Cluster) EnableAckAudit() {
+	for _, sh := range c.Shards {
+		sh := sh
+		sh.ackAudit = make([]map[uint64]uint32, c.P.Replicas)
+		for r := range sh.ackAudit {
+			sh.ackAudit[r] = make(map[uint64]uint32)
+		}
+		tag := func(req *rpc.Request) uint64 {
+			if len(req.Payload) < 12 {
+				return req.Key << 32
+			}
+			return req.Key<<32 | uint64(binary.LittleEndian.Uint32(req.Payload[8:]))
+		}
+		onDurable := func(replica int, t uint64, at sim.Time) {
+			slot, ver := t>>32, uint32(t)
+			if ver == 0 {
+				return // unversioned payload: nothing to audit
+			}
+			if ver > sh.ackAudit[replica][slot] {
+				sh.ackAudit[replica][slot] = ver
+			}
+		}
+		for _, cl := range sh.clients {
+			cl.WriteTag, cl.OnDurable = tag, onDurable
+		}
+	}
+}
+
+// AckedVersions returns replica r's durably-acknowledged version record
+// (nil unless EnableAckAudit ran). The map is live; callers must not hold
+// it across further traffic.
+func (sh *Shard) AckedVersions(r int) map[uint64]uint32 {
+	if sh.ackAudit == nil {
+		return nil
+	}
+	return sh.ackAudit[r]
 }
 
 // Healthy reports whether every replica is up and readmitted (no down

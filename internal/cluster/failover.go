@@ -39,6 +39,13 @@ type Controller struct {
 	C       *Cluster
 	Events  []Event
 	stopped bool
+
+	// AuditReplay, when set, runs during resync after the rejoining
+	// replica's redo-log backlogs have replayed and applied but before any
+	// catch-up image ships — the one instant where the replica's durable
+	// state reflects exactly what it persisted on its own. The crash-point
+	// sweep audits the §4.2 per-replica ack contract there.
+	AuditReplay func(p *sim.Proc, sh *Shard, r int)
 }
 
 // StartController begins failure detection on a dedicated proc.
@@ -176,6 +183,18 @@ func (ct *Controller) resync(p *sim.Proc, sh *Shard, r int) {
 	// overwrote, so every replay must land in the victim's engine before
 	// the first shipped image: the latest acknowledged image is then always
 	// the last write to apply.
+	shipFloor := sh.pendingSince[r].Add(-ct.C.P.Grace)
+	shippedAt := make(map[uint64]sim.Time, len(sh.wrote))
+	if ct.C.P.MutantResurrect {
+		// Seeded bug (see Params.MutantResurrect): ship one round of images
+		// first, so the replay below can land older versions on top of them.
+		n, err := ct.ship(p, sh, r, shipFloor, shippedAt)
+		if err != nil || !rep.alive {
+			abort()
+			return
+		}
+		sh.Shipped += int64(n)
+	}
 	hold()
 	sh.Replayed += int64(ct.reestablish(p, sh.ctl, r))
 	for _, cl := range held {
@@ -186,14 +205,21 @@ func (ct *Controller) resync(p *sim.Proc, sh *Shard, r int) {
 		abort()
 		return
 	}
+	if ct.AuditReplay != nil {
+		// Let the engine apply the replayed backlog, then audit before the
+		// first repair image can paper over a durability lie.
+		if !ct.waitApplied(p, rep) {
+			abort()
+			return
+		}
+		ct.AuditReplay(p, sh, r)
+	}
 
 	// 2. Catch-up ship rounds while traffic continues: latest acknowledged
 	// image per key for every write the replica may have missed. Under
 	// sustained write load the rounds may never reach zero (each ships the
 	// writes that landed during the previous one), so they are capped — the
 	// barrier's final round below closes the gap, these only shrink it.
-	shipFloor := sh.pendingSince[r].Add(-ct.C.P.Grace)
-	shippedAt := make(map[uint64]sim.Time, len(sh.wrote))
 	for round := 0; ; round++ {
 		n, err := ct.ship(p, sh, r, shipFloor, shippedAt)
 		if err != nil || !rep.alive {

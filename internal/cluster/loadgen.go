@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"prdma/internal/rpc"
 	"prdma/internal/sim"
 	"prdma/internal/ycsb"
 )
@@ -22,6 +23,14 @@ type Load struct {
 	// KeySpace is the zipfian key population; Theta its skew (0.99 = YCSB).
 	KeySpace int64
 	Theta    float64
+	// Workload, when set, drives the closed loop from a YCSB core workload
+	// (ycsb.A..ycsb.F) instead of the plain ReadFrac mix: updates, inserts,
+	// scans and read-modify-write pairs per the workload's own ratios.
+	// Insert-grown keys wrap into KeySpace so slots stay injective for the
+	// verification payloads. Open loop does not support it.
+	Workload ycsb.Workload
+	// MaxScan bounds workload E's scan lengths (default 8).
+	MaxScan int
 	// OpenLoop switches from closed-loop (each client issues the next op
 	// when the previous completes) to open-loop (ops arrive on a Poisson
 	// schedule at Rate ops/sec and queue for a worker; latency then
@@ -182,7 +191,35 @@ func (c *Cluster) RunLoad(p *sim.Proc, l Load) (*LoadResult, error) {
 		res.Samples = append(res.Samples, Sample{At: now, Dur: now.Sub(arrivedAt), Shard: shard, Write: write})
 	}
 
+	// scanOp serves one workload-E scan as ScanLen sequential reads; the
+	// whole scan is one sample.
+	scanOp := func(wp *sim.Proc, key uint64, n int) {
+		start := wp.Now()
+		if n <= 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			k := (key + uint64(i)) % uint64(l.KeySpace)
+			data, err := c.Get(wp, k, c.P.ObjSize)
+			if err != nil {
+				res.Errors++
+				return
+			}
+			res.Reads++
+			if l.Verify {
+				if err := checkFill(data, k, res.issuedVer[k]); err != nil {
+					res.BadReads++
+				}
+			}
+		}
+		now := wp.Now()
+		res.Samples = append(res.Samples, Sample{At: now, Dur: now.Sub(start), Shard: c.Ring.Shard(key)})
+	}
+
 	wg := sim.NewWaitGroup(c.K)
+	if l.OpenLoop && l.Workload != 0 {
+		return nil, fmt.Errorf("cluster: YCSB workloads run closed-loop only")
+	}
 	if l.OpenLoop {
 		if l.Rate <= 0 {
 			return nil, fmt.Errorf("cluster: open loop needs Rate > 0")
@@ -226,6 +263,42 @@ func (c *Cluster) RunLoad(p *sim.Proc, l Load) (*LoadResult, error) {
 				queue.Push(arrival{stop: true})
 			}
 		})
+	} else if l.Workload != 0 {
+		maxScan := l.MaxScan
+		if maxScan <= 0 {
+			maxScan = 8
+		}
+		issued := 0
+		for w := 0; w < l.Clients; w++ {
+			wg.Add(1)
+			client := w
+			c.K.Go("ycsb-client", func(wp *sim.Proc) {
+				defer wg.Done()
+				gen := ycsb.NewGenerator(l.Workload, ycsb.Config{
+					Records:   int(l.KeySpace),
+					ValueSize: c.P.ObjSize,
+					Theta:     l.Theta,
+					MaxScan:   maxScan,
+					Seed:      l.Seed ^ (uint64(client)+1)*0x9e3779b97f4a7c15,
+				})
+				for issued < l.Ops {
+					issued++
+					// One generator draw is one logical op; RMW pairs (F)
+					// sample as a read plus a write.
+					for _, r := range gen.Next() {
+						key := r.Key % uint64(l.KeySpace)
+						switch r.Op {
+						case rpc.OpScan:
+							scanOp(wp, key, r.ScanLen)
+						case rpc.OpWrite:
+							op(wp, client, true, key, wp.Now())
+						default:
+							op(wp, client, false, key, wp.Now())
+						}
+					}
+				}
+			})
+		}
 	} else {
 		issued := 0
 		for w := 0; w < l.Clients; w++ {

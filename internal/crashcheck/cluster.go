@@ -19,13 +19,17 @@
 package crashcheck
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sort"
 	"time"
 
 	"prdma/internal/cluster"
+	"prdma/internal/fabric"
 	"prdma/internal/sim"
+	"prdma/internal/stats"
+	"prdma/internal/ycsb"
 )
 
 // ClusterConfig parameterizes one cluster-mode sweep.
@@ -44,6 +48,20 @@ type ClusterConfig struct {
 	Shards, Replicas int
 	// ObjSize is the object size in bytes (≥ 16 for versioned payloads).
 	ObjSize int
+
+	// Fault, when set, installs a deterministic fabric adversary (the same
+	// spec and seed for the reference run and every crash point). Fault
+	// runs shorten the RC retransmit interval and raise the retry budget
+	// so sub-millisecond partitions are ridden out by retransmission
+	// instead of killing queue pairs.
+	Fault *fabric.FaultSpec
+	// Workload, when set, drives the load from a YCSB core workload
+	// (ycsb.A..ycsb.F) instead of the default 70/30 mix.
+	Workload ycsb.Workload
+	// Mutant seeds a known bug class for the detection check: "ackbug"
+	// (flush ACK before the durability horizon) or "resurrect" (stale
+	// version guard off + resync ships images before replaying logs).
+	Mutant string
 }
 
 // DefaultClusterConfig returns a CI-sized cluster sweep: a 2-shard,
@@ -74,12 +92,27 @@ func (v ClusterViolation) String() string {
 	return fmt.Sprintf("cluster seed=%d %v at=%v: %s", v.Seed, v.Point, v.At, v.Msg)
 }
 
+// RefStats measures the sweep's crash-free reference run — the per-cell
+// performance row of the adversarial-matrix figure.
+type RefStats struct {
+	Ops          int
+	KOPS         float64
+	P50US, P99US float64
+	// Resends is total RC retransmissions; FaultDrops the injector- or
+	// DropProb-lost messages; Duplicated/Reordered the adversary's copies
+	// and holds; StaleDrops the version-guarded writes the stores
+	// rejected; Retries the cluster-level op retries.
+	Resends, FaultDrops, Duplicated, Reordered, StaleDrops, Retries int64
+}
+
 // ClusterResult summarizes one cluster sweep.
 type ClusterResult struct {
 	Seed   int64
 	Points int
 	// Events is the event count of the crash-free reference load.
 	Events uint64
+	// Ref measures the crash-free reference run.
+	Ref RefStats
 	// Failovers/Resyncs/Replayed/Shipped total the controller work across
 	// all points.
 	Failovers, Resyncs, Replayed, Shipped int64
@@ -109,6 +142,10 @@ type clusterRun struct {
 
 	loadDone      bool
 	loadEndEvents uint64
+
+	// auditMsgs collects §4.2 ack-contract breaks observed by the
+	// post-replay audit (see auditReplay).
+	auditMsgs []string
 }
 
 func newClusterRun(cfg ClusterConfig) *clusterRun {
@@ -120,18 +157,40 @@ func newClusterRun(cfg ClusterConfig) *clusterRun {
 	p.Objects = 128
 	p.ObjSize = cfg.ObjSize
 	p.Seed = uint64(cfg.Seed) | 1
+	if cfg.Fault != nil {
+		// Adversary runs retransmit aggressively: a sub-millisecond
+		// partition or drop burst must be ridden out by RC retries well
+		// inside the retry budget, not kill the queue pair.
+		p.NIC.RetransmitInterval = 100 * time.Microsecond
+		p.NIC.RetryCount = 64
+	}
+	switch cfg.Mutant {
+	case "ackbug":
+		// The premature-ack knob only exists on the native flush path; the
+		// read-after-write emulation has no flush ACK to misplace.
+		p.NIC.EmulateFlush = false
+		p.NIC.AckBeforeDurable = true
+	case "resurrect":
+		p.MutantResurrect = true
+	}
 	r := &clusterRun{k: k}
 	c, err := cluster.New(k, p)
 	if err != nil {
 		panic(err)
 	}
+	if cfg.Fault != nil {
+		c.Net.SetInjector(fabric.NewInjector(*cfg.Fault, (uint64(cfg.Seed)|1)^0xfa175eed))
+	}
 	r.c = c
+	c.EnableAckAudit()
 	r.ct = c.StartController()
+	r.ct.AuditReplay = r.auditReplay
 	k.Go("cluster-load", func(mp *sim.Proc) {
 		r.res, r.err = c.RunLoad(mp, cluster.Load{
 			Clients:  cfg.Clients,
 			Ops:      cfg.Ops,
 			ReadFrac: 0.3,
+			Workload: cfg.Workload,
 			Verify:   true,
 			Seed:     uint64(cfg.Seed) | 1,
 		})
@@ -139,6 +198,69 @@ func newClusterRun(cfg ClusterConfig) *clusterRun {
 		r.loadEndEvents = k.Fired()
 	})
 	return r
+}
+
+// refStats extracts the performance row from a settled crash-free run.
+func (r *clusterRun) refStats() RefStats {
+	st := RefStats{
+		Resends:    r.c.Retransmits(),
+		StaleDrops: r.c.StaleDrops(),
+	}
+	net := r.c.Net
+	st.FaultDrops = net.DroppedFault
+	st.Duplicated = net.Duplicated
+	st.Reordered = net.Reordered
+	for _, sh := range r.c.Shards {
+		st.Retries += sh.Retries
+	}
+	if r.res == nil || len(r.res.Samples) == 0 {
+		return st
+	}
+	st.Ops = len(r.res.Samples)
+	lat := stats.NewLatency(st.Ops)
+	for _, sm := range r.res.Samples {
+		lat.Add(sm.Dur)
+	}
+	elapsed := r.res.End.Sub(r.res.Start)
+	st.KOPS = stats.Throughput{Ops: st.Ops, Elapsed: elapsed}.KOPS()
+	st.P50US = float64(lat.Percentile(50)) / float64(time.Microsecond)
+	st.P99US = float64(lat.Percentile(99)) / float64(time.Microsecond)
+	return st
+}
+
+// auditReplay holds a rejoining replica to its §4.2 ack contract at the
+// one instant its durable state is exactly what it persisted itself:
+// after its redo-log backlogs replayed and applied, before any catch-up
+// image ships. Every slot version the replica durably acknowledged must
+// be resident at that version or newer — a flush ACK that replay cannot
+// honor was a durability lie (the ack-before-durable bug class).
+func (r *clusterRun) auditReplay(p *sim.Proc, sh *cluster.Shard, ri int) {
+	acked := sh.AckedVersions(ri)
+	if len(acked) == 0 {
+		return
+	}
+	rep := sh.Replicas[ri]
+	slots := make([]uint64, 0, len(acked))
+	for slot := range acked {
+		slots = append(slots, slot)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	buf := make([]byte, 12)
+	for _, slot := range slots {
+		want := acked[slot]
+		if !rep.Store.Has(slot) {
+			r.auditMsgs = append(r.auditMsgs, fmt.Sprintf(
+				"ack audit: shard %d replica %d slot %d: durably acked ver %d but replay restored nothing",
+				sh.ID, ri, slot, want))
+			continue
+		}
+		got := binary.LittleEndian.Uint32(rep.Host.PM.ReadBytesInto(rep.Store.Addr(slot), buf)[8:12])
+		if got < want {
+			r.auditMsgs = append(r.auditMsgs, fmt.Sprintf(
+				"ack audit: shard %d replica %d slot %d: durably acked ver %d but replay restored ver %d",
+				sh.ID, ri, slot, want, got))
+		}
+	}
 }
 
 // settle advances the run until the load completes and the cluster is
@@ -158,6 +280,7 @@ func (r *clusterRun) verify() []string {
 	bad := func(format string, a ...any) {
 		out = append(out, fmt.Sprintf(format, a...))
 	}
+	out = append(out, r.auditMsgs...)
 	if !r.loadDone {
 		bad("workload never finished before the settle horizon")
 		return out
@@ -199,6 +322,7 @@ func ClusterSweep(cfg ClusterConfig) ClusterResult {
 	ref := newClusterRun(cfg)
 	ref.settle()
 	res.Events = ref.loadEndEvents
+	res.Ref = ref.refStats()
 	record := func(r *clusterRun, pt Point, at sim.Time, msgs []string) {
 		for _, msg := range msgs {
 			res.ViolationCount++

@@ -66,17 +66,32 @@ type Network struct {
 	endpoints map[string]*Endpoint
 	rng       *sim.Rand
 	msgFree   []*pooledMsg
+	inj       *Injector
 
-	// Stats.
-	Delivered int64
-	Dropped   int64
-	BytesSent int64
+	// Stats. Dropped is the total; DroppedFault counts losses the model
+	// injected (DropProb and fault-injector partitions/bursts) and
+	// DroppedDown counts messages that reached a down or handlerless
+	// endpoint — the matrix figure needs the two attributed separately.
+	Delivered    int64
+	Dropped      int64
+	DroppedFault int64
+	DroppedDown  int64
+	Duplicated   int64
+	Reordered    int64
+	BytesSent    int64
 }
 
 // New returns an empty network.
 func New(k *sim.Kernel, p Params, seed uint64) *Network {
 	return &Network{K: k, Params: p, endpoints: make(map[string]*Endpoint), rng: sim.NewRand(seed)}
 }
+
+// SetInjector installs (or, with nil, removes) a fault injector. With no
+// injector the send paths are bit-for-bit identical to an unfaulted build.
+func (n *Network) SetInjector(i *Injector) { n.inj = i }
+
+// Injector returns the installed fault injector (nil when none).
+func (n *Network) Injector() *Injector { return n.inj }
 
 // Endpoint is one NIC port attached to the network.
 type Endpoint struct {
@@ -142,7 +157,16 @@ func (e *Endpoint) Send(m *Message) sim.Time {
 
 	txDone := e.tx.Reserve(n.SerializeCost(m.Size))
 
-	delay := n.Params.Propagation
+	var v verdict
+	if n.inj != nil {
+		v = n.inj.judge(txDone, e.Name, m.To)
+		if v.drop {
+			n.Dropped++
+			n.DroppedFault++
+			return txDone
+		}
+	}
+	delay := n.Params.Propagation + v.extra
 	if n.Params.BusyQueueMean > 0 {
 		delay += time.Duration(n.rng.Exp(float64(n.Params.BusyQueueMean)))
 	}
@@ -151,23 +175,38 @@ func (e *Endpoint) Send(m *Message) sim.Time {
 		arrive = last
 	}
 	e.lastArrive[m.To] = arrive
+	if v.reorder > 0 {
+		// Held back past the FIFO point without advancing lastArrive, so
+		// later messages to the same destination may overtake — bounded
+		// reordering.
+		arrive = arrive.Add(v.reorder)
+		n.Reordered++
+	}
 
 	if n.Params.DropProb > 0 && n.rng.Float64() < n.Params.DropProb {
 		n.Dropped++
+		n.DroppedFault++
 		return txDone
 	}
 	dst, ok := n.endpoints[m.To]
 	if !ok {
 		panic(fmt.Sprintf("fabric: send to unknown endpoint %q", m.To))
 	}
-	n.K.Schedule(arrive, func() {
+	deliver := func(at sim.Time) {
 		if !dst.up || dst.handler == nil {
 			n.Dropped++
+			n.DroppedDown++
 			return
 		}
 		n.Delivered++
-		dst.handler(arrive, m)
-	})
+		dst.handler(at, m)
+	}
+	n.K.Schedule(arrive, func() { deliver(arrive) })
+	if v.dup > 0 {
+		n.Duplicated++
+		dupAt := arrive.Add(v.dup)
+		n.K.Schedule(dupAt, func() { deliver(dupAt) })
+	}
 	return txDone
 }
 
@@ -198,11 +237,29 @@ func (pm *pooledMsg) deliver() {
 	n, dst, arrive := pm.net, pm.dst, pm.arrive
 	if !dst.up || dst.handler == nil {
 		n.Dropped++
+		n.DroppedDown++
 	} else {
 		n.Delivered++
 		dst.handler(arrive, &pm.Message)
 	}
 	pm.finish()
+}
+
+// deliverAt is the duplicated-delivery variant: it hands the message to the
+// destination at the given time and recycles the envelope only after the
+// final copy, so the sender's release hook still fires exactly once.
+func (pm *pooledMsg) deliverAt(at sim.Time, final bool) {
+	n, dst := pm.net, pm.dst
+	if !dst.up || dst.handler == nil {
+		n.Dropped++
+		n.DroppedDown++
+	} else {
+		n.Delivered++
+		dst.handler(at, &pm.Message)
+	}
+	if final {
+		pm.finish()
+	}
 }
 
 // SendPooled transmits like Send but from a free-listed envelope with a
@@ -221,7 +278,17 @@ func (e *Endpoint) SendPooled(to string, size int, payload interface{}, release 
 
 	txDone := e.tx.Reserve(n.SerializeCost(size))
 
-	delay := n.Params.Propagation
+	var v verdict
+	if n.inj != nil {
+		v = n.inj.judge(txDone, e.Name, to)
+		if v.drop {
+			n.Dropped++
+			n.DroppedFault++
+			pm.finish()
+			return txDone
+		}
+	}
+	delay := n.Params.Propagation + v.extra
 	if n.Params.BusyQueueMean > 0 {
 		delay += time.Duration(n.rng.Exp(float64(n.Params.BusyQueueMean)))
 	}
@@ -230,9 +297,14 @@ func (e *Endpoint) SendPooled(to string, size int, payload interface{}, release 
 		arrive = last
 	}
 	e.lastArrive[to] = arrive
+	if v.reorder > 0 {
+		arrive = arrive.Add(v.reorder) // see Send: bounded reordering
+		n.Reordered++
+	}
 
 	if n.Params.DropProb > 0 && n.rng.Float64() < n.Params.DropProb {
 		n.Dropped++
+		n.DroppedFault++
 		pm.finish()
 		return txDone
 	}
@@ -241,6 +313,15 @@ func (e *Endpoint) SendPooled(to string, size int, payload interface{}, release 
 		panic(fmt.Sprintf("fabric: send to unknown endpoint %q", to))
 	}
 	pm.dst, pm.arrive = dst, arrive
+	if v.dup > 0 {
+		// Duplicated delivery allocates its closures — acceptable: faults
+		// are never active on the alloc-pinned benchmark paths.
+		n.Duplicated++
+		dupAt := arrive.Add(v.dup)
+		n.K.Schedule(arrive, func() { pm.deliverAt(arrive, false) })
+		n.K.Schedule(dupAt, func() { pm.deliverAt(dupAt, true) })
+		return txDone
+	}
 	n.K.Schedule(arrive, pm.fn)
 	return txDone
 }

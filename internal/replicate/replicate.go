@@ -82,6 +82,15 @@ type Client struct {
 	Writes, Reads, SlowestWaits int64
 	StaleSkips                  int64
 	ReadsByReplica              []int64
+
+	// WriteTag and OnDurable, both set, observe per-replica durability:
+	// WriteTag extracts an opaque tag from each write at issue time (before
+	// the caller can reuse the payload buffer), and OnDurable fires with
+	// that tag once per replica durability ACK. A durable ACK asserts the
+	// write is remotely persistent on that replica — the §4.2 contract the
+	// crash-point auditor holds each replica to.
+	WriteTag  func(req *rpc.Request) uint64
+	OnDurable func(replica int, tag uint64, at sim.Time)
 }
 
 // New builds a replicated client over per-replica durable connections.
@@ -178,6 +187,10 @@ func (c *Client) write(p *sim.Proc, req *rpc.Request, timeout time.Duration) (si
 		return 0, 0, ErrUnavailable
 	}
 	c.Writes++
+	var tag uint64
+	if c.WriteTag != nil && c.OnDurable != nil {
+		tag = c.WriteTag(req)
+	}
 	c.pendBuf = c.pendBuf[:0]
 	c.idxBuf = c.idxBuf[:0]
 	for i, r := range c.replicas {
@@ -197,6 +210,9 @@ func (c *Client) write(p *sim.Proc, req *rpc.Request, timeout time.Duration) (si
 		i := c.idxBuf[j]
 		c.pendBuf[j].Durable.Then(func(at sim.Time) {
 			c.acked[i]++
+			if c.OnDurable != nil {
+				c.OnDurable(i, tag, at)
+			}
 			acked++
 			if acked == need {
 				met.Complete(at)

@@ -57,6 +57,7 @@ type NIC struct {
 	FlushAcks        int64
 	Retransmits      int64
 	DroppedStale     int64 // messages for dead QPs
+	OutOfOrderDrops  int64 // RC requests NAKed ahead of a PSN gap
 	AccessViolations int64 // one-sided ops that failed MR protection
 }
 
@@ -152,7 +153,7 @@ func (n *NIC) CreateQP(t Transport) *QP {
 		flushes:  make(map[uint64]*sim.Future[sim.Time]),
 		reads:    make(map[uint64]*sim.Future[[]byte]),
 		notifies: make(map[uint64]*sim.Future[sim.Time]),
-		seen:     make(map[uint64]bool),
+		expected: 1,
 
 		retryBySeq: make(map[uint64]*retryJob),
 	}
@@ -496,7 +497,16 @@ func (n *NIC) flushAck(q *QP, seq uint64) {
 // the target memory, and track/ack durability.
 func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 	if q.Transport == RC {
-		if q.seen[m.Seq] {
+		if m.Seq > q.expected {
+			// Out-of-order request: an earlier request on this QP was lost
+			// and is still retransmitting. Executing ahead of the gap would
+			// break the durability-horizon contract (an ACKed entry could
+			// sit behind a hole in the redo log), so NAK-drop it; the
+			// sender's retransmit redelivers it in order.
+			n.OutOfOrderDrops++
+			return
+		}
+		if m.Seq < q.expected {
 			// Duplicate from a retransmit: re-ACK (and re-issue the
 			// flush ACK, which covers the durability horizon), but do
 			// not re-apply the data.
@@ -510,7 +520,7 @@ func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 			}
 			return
 		}
-		q.seen[m.Seq] = true
+		q.expected++
 	}
 	if !n.checkAccess(q, m.Addr, true) {
 		return // protection fault: NAK, QP error
@@ -607,7 +617,13 @@ func (n *NIC) inboundWrite(q *QP, m *wireMsg) {
 // resolve the log address and persist the payload there.
 func (n *NIC) inboundSend(q *QP, m *wireMsg) {
 	if q.Transport == RC {
-		if q.seen[m.Seq] {
+		if m.Seq > q.expected {
+			// Out-of-order: see inboundWrite. For sends, in-order admission
+			// also keeps native-SFlush reservation matching exact.
+			n.OutOfOrderDrops++
+			return
+		}
+		if m.Seq < q.expected {
 			n.rcAck(q, m.Seq)
 			if m.Flush {
 				at := n.K.Now()
@@ -620,7 +636,7 @@ func (n *NIC) inboundSend(q *QP, m *wireMsg) {
 			}
 			return
 		}
-		q.seen[m.Seq] = true
+		q.expected++
 	}
 	n.StagedMsgs++
 	n.rcAck(q, m.Seq) // T_A
@@ -703,6 +719,20 @@ func (n *NIC) placeSend(q *QP, m *wireMsg, buf RecvBuf) {
 // from the LLC immediately, which is why read-after-write fails as a
 // persistence check (§2.4).
 func (n *NIC) inboundRead(q *QP, m *wireMsg) {
+	if q.Transport == RC {
+		if m.Seq > q.expected {
+			// Out-of-order: the read must not pass a lost earlier write —
+			// that is precisely what makes read-after-write a valid flush
+			// emulation. Drop it; the sender retransmits.
+			n.OutOfOrderDrops++
+			return
+		}
+		if m.Seq == q.expected {
+			q.expected++
+		}
+		// Below expected: a retransmitted read whose response was lost.
+		// Reads are idempotent — re-serve to replace the response.
+	}
 	// PCIe ordering: a read cannot pass DMA writes already queued in the
 	// engine; defer service until the current backlog drains.
 	start := n.pcie.NextFree()

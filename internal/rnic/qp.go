@@ -51,8 +51,13 @@ type QP struct {
 	retryBySeq map[uint64]*retryJob
 	// pendingNotify buffers tags that arrived before ExpectNotify.
 	pendingNotify []uint64
-	// seen dedups retransmitted RC operations.
-	seen map[uint64]bool
+	// expected is the next fresh RC request sequence this QP will execute.
+	// Requests below it are retransmitted duplicates (re-acknowledge, do not
+	// re-apply); requests above it are out-of-order — an earlier request on
+	// the connection was lost and is still retransmitting — and are dropped,
+	// as a real RC responder NAKs a PSN gap. Executing ahead of a gap would
+	// let a flush acknowledgement cover a hole in the redo log.
+	expected uint64
 
 	// lastDurable is the durability horizon of inbound operations on this
 	// QP: reads (and therefore flush emulation) wait for it.
@@ -176,10 +181,10 @@ func (j *retryJob) attempt() {
 
 // reliablePost transmits an RC message and retransmits it every
 // RetransmitInterval until `settled` reports completion or the QP dies.
-// The receiver dedups by sequence number, so duplicates are harmless; RC's
-// in-order semantics are preserved because retransmission only happens for
-// messages that never got their acknowledgement. Takes over the caller's
-// reference to m.
+// The receiver admits requests strictly in sequence order (see QP.expected):
+// duplicates are re-acknowledged without re-applying, and requests ahead of
+// a loss-induced gap are dropped until the retransmit fills it — RC's
+// in-order execution semantics. Takes over the caller's reference to m.
 func (q *QP) reliablePost(m *wireMsg, size int, settled interface{ Done() bool }) {
 	j := q.nic.newRetryJob()
 	j.q, j.m, j.size, j.tries, j.settled = q, m, size, 0, settled
@@ -393,7 +398,8 @@ func (q *QP) ReadAsync(raddr int64, n int) *sim.Future[[]byte] {
 	f := sim.NewFuture[[]byte](q.nic.K)
 	q.reads[m.Seq] = f
 	// A read request is small; the response carries the payload. Reads are
-	// idempotent, so retransmission needs no receiver-side dedup.
+	// idempotent: a retransmitted read is simply re-served, replacing a
+	// response the fabric may have lost.
 	if q.Transport == RC {
 		q.reliablePost(m, q.nic.Params.HeaderBytes, f)
 	} else {
@@ -409,10 +415,12 @@ func (q *QP) Read(p *sim.Proc, raddr int64, n int) []byte {
 
 // Notify sends a small application-level notification (used by RFlush-based
 // RPCs: the receiver CPU tells the sender its data is durable). It does not
-// involve the remote CPU.
+// involve the remote CPU. Notifications are matched by tag and posted
+// unreliably, so they stay outside the QP's request sequence space — a lost
+// notify must not open a gap that stalls the peer's in-order admission.
 func (q *QP) Notify(tag uint64) {
 	m := q.nic.newWireMsg()
-	m.Kind, m.SrcQP, m.DstQP, m.Seq, m.Tag = wNotify, q.ID, q.remoteQP, q.nextSeq(), tag
+	m.Kind, m.SrcQP, m.DstQP, m.Tag = wNotify, q.ID, q.remoteQP, tag
 	q.nic.post(q.remoteNIC, m, q.nic.Params.AckBytes)
 }
 

@@ -382,7 +382,7 @@ func TestRetransmitDedup(t *testing.T) {
 	r := newRig(nil)
 	cq, sq := r.connect(RC)
 	// Simulate a retransmission by posting the same seq twice.
-	m := &wireMsg{Kind: wWrite, SrcQP: cq.ID, DstQP: sq.ID, Seq: 42, Addr: 0, N: 8, Data: []byte("12345678")}
+	m := &wireMsg{Kind: wWrite, SrcQP: cq.ID, DstQP: sq.ID, Seq: 1, Addr: 0, N: 8, Data: []byte("12345678")}
 	dup := *m
 	cq.nic.post(cq.remoteNIC, m, 72)
 	cq.nic.post(cq.remoteNIC, &dup, 72)
@@ -398,6 +398,40 @@ func TestRetransmitDedup(t *testing.T) {
 	r.k.Run()
 	if count != 1 {
 		t.Fatalf("duplicate write applied %d times", count)
+	}
+}
+
+func TestOutOfOrderRequestDropped(t *testing.T) {
+	// RC in-order execution: a request ahead of a loss-induced PSN gap is
+	// dropped (the responder NAKs it) and executes only once the retransmit
+	// fills the gap. Without this, a flush acknowledgement could cover a
+	// hole in the redo log and recovery would truncate acknowledged entries.
+	r := newRig(nil)
+	cq, sq := r.connect(RC)
+	w1 := &wireMsg{Kind: wWrite, SrcQP: cq.ID, DstQP: sq.ID, Seq: 1, Addr: 0, N: 8, Data: []byte("11111111")}
+	w2 := &wireMsg{Kind: wWrite, SrcQP: cq.ID, DstQP: sq.ID, Seq: 2, Addr: 64, N: 8, Data: []byte("22222222")}
+	w2b := *w2
+	// Deliver seq 2 while seq 1 is still "lost": it must not execute.
+	cq.nic.post(cq.remoteNIC, w2, 72)
+	r.k.RunFor(time.Millisecond)
+	if r.sn.OutOfOrderDrops != 1 {
+		t.Fatalf("out-of-order write not dropped (drops=%d)", r.sn.OutOfOrderDrops)
+	}
+	// The retransmit fills the gap; both requests then execute in order.
+	cq.nic.post(cq.remoteNIC, w1, 72)
+	cq.nic.post(cq.remoteNIC, &w2b, 72)
+	count := 0
+	r.k.Go("server", func(p *sim.Proc) {
+		for {
+			if _, ok := sq.Arrivals.PopTimeout(p, time.Millisecond); !ok {
+				return
+			}
+			count++
+		}
+	})
+	r.k.Run()
+	if count != 2 {
+		t.Fatalf("expected 2 arrivals after the gap filled, got %d", count)
 	}
 }
 
@@ -649,7 +683,7 @@ func TestSendFlushDuplicateReacked(t *testing.T) {
 	}
 	sq.PostRecv(dramBase, 4096)
 	sq.PostRecv(dramBase+4096, 4096)
-	m := &wireMsg{Kind: wSend, SrcQP: cq.ID, DstQP: sq.ID, Seq: 77, N: 8, Data: []byte("12345678"), Flush: true}
+	m := &wireMsg{Kind: wSend, SrcQP: cq.ID, DstQP: sq.ID, Seq: 1, N: 8, Data: []byte("12345678"), Flush: true}
 	dup := *m
 	cq.nic.post(cq.remoteNIC, m, 72)
 	r.k.RunFor(time.Millisecond)
@@ -664,7 +698,7 @@ func TestSendFlushDuplicateReacked(t *testing.T) {
 func TestWriteFlushDuplicateReacked(t *testing.T) {
 	r := newRig(func(p *Params) { p.EmulateFlush = false })
 	cq, sq := r.connect(RC)
-	m := &wireMsg{Kind: wWrite, SrcQP: cq.ID, DstQP: sq.ID, Seq: 88, Addr: 0, N: 8, Data: []byte("abcdefgh"), Flush: true}
+	m := &wireMsg{Kind: wWrite, SrcQP: cq.ID, DstQP: sq.ID, Seq: 1, Addr: 0, N: 8, Data: []byte("abcdefgh"), Flush: true}
 	dup := *m
 	cq.nic.post(cq.remoteNIC, m, 72)
 	r.k.RunFor(time.Millisecond)

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"prdma/internal/host"
@@ -17,18 +18,36 @@ type Store struct {
 
 	addrs map[uint64]int64
 
+	// VersionAt, when non-negative, is the byte offset of a little-endian
+	// uint32 version embedded in every write payload; the store then drops
+	// writes older than the version it holds for the key. This is the
+	// last-writer-wins guard: under loss or reordering, a retransmitted
+	// stale write can arrive after a newer acknowledged write (even
+	// in-order per QP, the two versions may ride different connections),
+	// and an unconditional apply would silently regress the object. The
+	// guard is volatile by design — a restarted replica rebuilds it while
+	// replaying its durable redo logs in order. Negative (the default)
+	// disables the guard: payloads stay fully opaque.
+	VersionAt int
+
+	vers map[uint64]uint32
+	// verBuf is the scratch for the guard's PM version read-back.
+	verBuf [4]byte
+
 	// sparseBuf is the scratch that materializes sparse-flyweight payloads
 	// before they are persisted; PersistSync outlives the device's use of
 	// it, so one buffer per store suffices.
 	sparseBuf []byte
 
-	// Reads/Writes/Scans count applied operations.
+	// Reads/Writes/Scans count applied operations; StaleDrops counts
+	// version-guarded writes rejected as older than the resident object.
 	Reads, Writes, Scans int64
+	StaleDrops           int64
 }
 
 // NewStore allocates n objects of objSize bytes in h's PM.
 func NewStore(h *host.Host, n int, objSize int) (*Store, error) {
-	s := &Store{H: h, ObjSize: objSize, addrs: make(map[uint64]int64, n)}
+	s := &Store{H: h, ObjSize: objSize, addrs: make(map[uint64]int64, n), VersionAt: -1}
 	for i := 0; i < n; i++ {
 		a, err := h.PMArena.Alloc(int64(objSize))
 		if err != nil {
@@ -68,6 +87,10 @@ func (s *Store) Len() int { return len(s.addrs) }
 func (s *Store) ApplyFromBuffer(p *sim.Proc, req *Request) []byte {
 	switch req.Op {
 	case OpWrite:
+		if s.stale(p, req) {
+			s.StaleDrops++
+			return nil
+		}
 		s.Writes++
 		addr := s.Addr(req.Key)
 		s.H.Memcpy(p, req.Size)
@@ -101,6 +124,47 @@ func (s *Store) ApplyFromLog(p *sim.Proc, req *Request) []byte {
 	// source is durable.
 	return s.ApplyFromBuffer(p, req)
 }
+
+// stale applies the version guard (see VersionAt): it reports whether req
+// carries an older version than the store holds for its key, advancing the
+// watermark otherwise. Payloads too short to carry a version — including
+// version zero, the unversioned-payload value — always apply.
+//
+// On a watermark miss the guard reads the resident object's embedded version
+// back from PM. The volatile map dies with a crash, but the durable object
+// does not: a stale entry replayed from one connection's redo log must not
+// regress a newer acknowledged write that another connection applied — and
+// durably consumed — before the crash. The read-back is paid once per key
+// per incarnation; the map answers every later check.
+func (s *Store) stale(p *sim.Proc, req *Request) bool {
+	if s.VersionAt < 0 || len(req.Payload) < s.VersionAt+4 {
+		return false
+	}
+	ver := binary.LittleEndian.Uint32(req.Payload[s.VersionAt:])
+	if ver == 0 {
+		return false
+	}
+	cur, ok := s.vers[req.Key]
+	if !ok {
+		if addr, exists := s.addrs[req.Key]; exists {
+			s.readTiming(p, 4)
+			cur = binary.LittleEndian.Uint32(s.H.PM.ReadBytesInto(addr+int64(s.VersionAt), s.verBuf[:]))
+			ok = cur != 0
+		}
+	}
+	if ok && ver < cur {
+		return true
+	}
+	if s.vers == nil {
+		s.vers = make(map[uint64]uint32)
+	}
+	s.vers[req.Key] = ver
+	return false
+}
+
+// Crash drops the store's volatile state: the version watermarks are
+// rebuilt from the durable redo logs as recovery replays them in order.
+func (s *Store) Crash() { s.vers = nil }
 
 // readRange serves OpScan: ScanLen sequential objects from Key.
 func (s *Store) readRange(p *sim.Proc, req *Request) []byte {

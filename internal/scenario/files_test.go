@@ -1,8 +1,11 @@
 package scenario
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -28,6 +31,19 @@ func TestShippedScenarioFiles(t *testing.T) {
 			spec, err := Load(f)
 			if err != nil {
 				t.Fatal(err)
+			}
+			// Round-trip: a loaded spec must survive re-encoding — every
+			// field Load accepts, Marshal emits and Load accepts again.
+			enc, err := json.Marshal(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := Load(bytes.NewReader(enc))
+			if err != nil {
+				t.Fatalf("re-loading the marshaled spec: %v", err)
+			}
+			if !reflect.DeepEqual(spec, again) {
+				t.Fatalf("round-trip changed the spec:\n%+v\n%+v", spec, again)
 			}
 			// Shrink for test speed; semantics unchanged.
 			spec.Ops = 300

@@ -86,6 +86,14 @@ type ClusterSpec struct {
 	// RatePerSec ops/s (closed loop otherwise).
 	OpenLoop   bool    `json:"openLoop"`
 	RatePerSec float64 `json:"ratePerSec"`
+	// Workload, when set, drives the load from one YCSB core workload
+	// letter ("A".."F") instead of the plain readFraction mix.
+	Workload string `json:"workload,omitempty"`
+	// FaultName installs a builtin fabric adversary by name (the
+	// adversarial-matrix library: "partition", "gray", "reorder", ...);
+	// Fault embeds a custom adversary inline. At most one of the two.
+	FaultName string            `json:"faultName,omitempty"`
+	Fault     *fabric.FaultSpec `json:"fault,omitempty"`
 }
 
 // Report is the scenario outcome.
@@ -166,6 +174,9 @@ func (s *Spec) Run() (*Report, error) {
 	kind, err := kindByName(s.RPC)
 	if err != nil {
 		return nil, err
+	}
+	if s.Crashes != nil && s.Cluster != nil {
+		return nil, fmt.Errorf("scenario: crashes and cluster are mutually exclusive (cluster runs inject failures via crashPrimary or a fault spec)")
 	}
 	if s.Cluster != nil {
 		return s.runCluster(kind)
@@ -305,6 +316,24 @@ func (s *Spec) Run() (*Report, error) {
 // diverges across replicas.
 func (s *Spec) runCluster(kind rpc.Kind) (*Report, error) {
 	cs := s.Cluster
+	fault, err := cs.resolveFault()
+	if err != nil {
+		return nil, err
+	}
+	var wl ycsb.Workload
+	if cs.Workload != "" {
+		ws, err := ParseWorkloads(cs.Workload)
+		if err != nil {
+			return nil, err
+		}
+		if len(ws) != 1 {
+			return nil, fmt.Errorf("scenario: cluster workload must be a single YCSB letter, got %q", cs.Workload)
+		}
+		if cs.OpenLoop {
+			return nil, fmt.Errorf("scenario: YCSB workloads drive the closed loop only")
+		}
+		wl = ws[0]
+	}
 	p := cluster.DefaultParams()
 	if cs.Shards > 0 {
 		p.Shards = cs.Shards
@@ -318,11 +347,21 @@ func (s *Spec) runCluster(kind rpc.Kind) (*Report, error) {
 	p.Seed = s.Seed
 	p.Cfg.Workers = s.Workers
 	p.Cfg.ProcessingTime = time.Duration(s.ProcessingUS) * time.Microsecond
+	if fault != nil {
+		// Adversary runs retransmit aggressively: a sub-millisecond
+		// partition or drop burst must be ridden out by RC retries well
+		// inside the retry budget, not kill the queue pair.
+		p.NIC.RetransmitInterval = 100 * time.Microsecond
+		p.NIC.RetryCount = 64
+	}
 
 	k := sim.New()
 	c, err := cluster.New(k, p)
 	if err != nil {
 		return nil, err
+	}
+	if fault != nil {
+		c.Net.SetInjector(fabric.NewInjector(*fault, s.Seed^0xfa175eed))
 	}
 	ct := c.StartController()
 	crashes := 0
@@ -351,6 +390,7 @@ func (s *Spec) runCluster(kind rpc.Kind) (*Report, error) {
 			Clients:  s.Clients,
 			Ops:      s.Ops,
 			ReadFrac: s.ReadFraction,
+			Workload: wl,
 			OpenLoop: cs.OpenLoop,
 			Rate:     cs.RatePerSec,
 			Verify:   true,
@@ -406,7 +446,41 @@ func (s *Spec) runCluster(kind rpc.Kind) (*Report, error) {
 		rep.Counters["logReplayed"] += sh.Replayed
 		rep.Replayed = int(rep.Counters["logReplayed"])
 	}
+	if fault != nil {
+		rep.Counters["retransmits"] = c.Retransmits()
+		rep.Counters["staleDrops"] = c.StaleDrops()
+		rep.Counters["faultDrops"] = c.Net.DroppedFault
+		rep.Counters["duplicated"] = c.Net.Duplicated
+		rep.Counters["reordered"] = c.Net.Reordered
+	}
 	return rep, nil
+}
+
+// resolveFault turns the spec's fault fields into one validated adversary
+// (nil when the run is unfaulted).
+func (cs *ClusterSpec) resolveFault() (*fabric.FaultSpec, error) {
+	if cs.FaultName != "" && cs.Fault != nil {
+		return nil, fmt.Errorf("scenario: set faultName or an inline fault, not both")
+	}
+	var f fabric.FaultSpec
+	switch {
+	case cs.FaultName != "":
+		var err error
+		if f, err = FaultByName(cs.FaultName); err != nil {
+			return nil, err
+		}
+	case cs.Fault != nil:
+		f = *cs.Fault
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, nil
+	}
+	if f.Empty() {
+		return nil, nil
+	}
+	return &f, nil
 }
 
 // attachTrace copies recorded events into the report.

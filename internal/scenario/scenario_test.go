@@ -3,6 +3,8 @@ package scenario
 import (
 	"strings"
 	"testing"
+
+	"prdma/internal/fabric"
 )
 
 func TestLoadAndDefaults(t *testing.T) {
@@ -134,6 +136,82 @@ func TestRunWithTrace(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no flush-ack events in trace (got %d events, first: %s)", len(rep.Trace), rep.Trace[0])
+	}
+}
+
+func TestLoadRejectsMalformedJSON(t *testing.T) {
+	for _, doc := range []string{`{"rpc":`, `[]`, `{"ops":"many"}`} {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("malformed document %q accepted", doc)
+		}
+	}
+}
+
+func TestCrashesAndClusterConflict(t *testing.T) {
+	s := &Spec{
+		RPC:     "WFlush-RPC",
+		Crashes: &CrashSpec{Count: 1},
+		Cluster: &ClusterSpec{Shards: 2, Replicas: 3},
+	}
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("want mutually-exclusive error, got %v", err)
+	}
+}
+
+func TestClusterFaultErrors(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{RPC: "WFlush-RPC", Ops: 100, Objects: 64, ObjectSize: 64, Cluster: &ClusterSpec{}}
+	}
+	cases := []struct {
+		name string
+		mod  func(*Spec)
+	}{
+		{"unknown fault name", func(s *Spec) { s.Cluster.FaultName = "nope" }},
+		{"name and inline fault", func(s *Spec) {
+			s.Cluster.FaultName = "gray"
+			s.Cluster.Fault = &fabric.FaultSpec{DupProb: 0.1, DupDelayUS: 5}
+		}},
+		{"invalid inline fault", func(s *Spec) { s.Cluster.Fault = &fabric.FaultSpec{DupProb: 2} }},
+		{"unknown workload", func(s *Spec) { s.Cluster.Workload = "G" }},
+		{"multi-letter workload", func(s *Spec) { s.Cluster.Workload = "AB" }},
+		{"workload with open loop", func(s *Spec) {
+			s.Cluster.Workload = "A"
+			s.Cluster.OpenLoop = true
+			s.Cluster.RatePerSec = 1e5
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := base()
+			c.mod(s)
+			if _, err := s.Run(); err == nil {
+				t.Fatal("expected an error")
+			}
+		})
+	}
+}
+
+func TestClusterFaultScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster runs are slow")
+	}
+	s := &Spec{
+		RPC: "WFlush-RPC", Ops: 600, Objects: 256, ObjectSize: 64,
+		Clients: 6, Seed: 7,
+		Cluster: &ClusterSpec{Shards: 2, Replicas: 3, Workload: "A", FaultName: "partition"},
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters["faultDrops"] == 0 {
+		t.Error("partition adversary dropped nothing")
+	}
+	if rep.Counters["retransmits"] == 0 {
+		t.Error("no retransmissions rode out the cut")
+	}
+	if rep.Counters["puts"] == 0 || rep.Counters["gets"] == 0 {
+		t.Errorf("workload A should mix puts and gets: %v", rep.Counters)
 	}
 }
 

@@ -162,6 +162,94 @@ func TestScanLengthsBounded(t *testing.T) {
 	}
 }
 
+// TestGeneratorDeterministicStream pins the determinism contract the
+// adversarial matrix leans on: for every core workload, a fixed (seed,
+// config) pair reproduces the identical operation stream — op, key, size and
+// scan length all equal, element by element.
+func TestGeneratorDeterministicStream(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 500
+	cfg.Seed = 31
+	for _, w := range Workloads {
+		t.Run(w.String(), func(t *testing.T) {
+			a, b := NewGenerator(w, cfg), NewGenerator(w, cfg)
+			for i := 0; i < 3000; i++ {
+				ra, rb := a.Next(), b.Next()
+				if len(ra) != len(rb) {
+					t.Fatalf("draw %d: %d vs %d requests", i, len(ra), len(rb))
+				}
+				for j := range ra {
+					if ra[j].Op != rb[j].Op || ra[j].Key != rb[j].Key ||
+						ra[j].Size != rb[j].Size || ra[j].ScanLen != rb[j].ScanLen {
+						t.Fatalf("draw %d[%d]: %+v vs %+v", i, j, ra[j], rb[j])
+					}
+				}
+			}
+			if a.RMWs != b.RMWs {
+				t.Fatalf("RMW counts diverged: %d vs %d", a.RMWs, b.RMWs)
+			}
+		})
+	}
+}
+
+// TestGeneratorSeedVariesStream is the inverse pin: a different seed must
+// produce a different stream, so seed sweeps genuinely vary the traffic.
+func TestGeneratorSeedVariesStream(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 500
+	cfg.Seed = 31
+	cfg2 := cfg
+	cfg2.Seed = 32
+	a, b := NewGenerator(A, cfg), NewGenerator(A, cfg2)
+	for i := 0; i < 1000; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra[0].Op != rb[0].Op || ra[0].Key != rb[0].Key {
+			return
+		}
+	}
+	t.Fatal("1000 identical draws across different seeds")
+}
+
+// TestScanLengthDistribution checks workload E's scan lengths are uniform on
+// [1, MaxScan]: every length occurs, frequencies stay near 1/MaxScan, and
+// the mean sits at (MaxScan+1)/2.
+func TestScanLengthDistribution(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 1000
+	cfg.MaxScan = 16
+	g := NewGenerator(E, cfg)
+	counts := make(map[int]int)
+	scans, sum := 0, 0
+	for i := 0; i < 40000; i++ {
+		for _, r := range g.Next() {
+			if r.Op != rpc.OpScan {
+				continue
+			}
+			counts[r.ScanLen]++
+			scans++
+			sum += r.ScanLen
+		}
+	}
+	if scans == 0 {
+		t.Fatal("workload E produced no scans")
+	}
+	expect := float64(scans) / float64(cfg.MaxScan)
+	for l := 1; l <= cfg.MaxScan; l++ {
+		c := counts[l]
+		if c == 0 {
+			t.Errorf("scan length %d never drawn", l)
+		}
+		if f := float64(c); f < 0.8*expect || f > 1.2*expect {
+			t.Errorf("scan length %d drawn %d times, want ~%.0f (uniform)", l, c, expect)
+		}
+	}
+	mean := float64(sum) / float64(scans)
+	want := float64(cfg.MaxScan+1) / 2
+	if mean < want-0.3 || mean > want+0.3 {
+		t.Errorf("mean scan length %.2f, want ~%.1f", mean, want)
+	}
+}
+
 func TestMixReadFraction(t *testing.T) {
 	f := func(fracRaw uint8) bool {
 		frac := float64(fracRaw%101) / 100
