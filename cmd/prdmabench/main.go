@@ -20,6 +20,13 @@
 //	prdmabench -matrix             # adversarial fault x YCSB A-F matrix, crashcheck asserted per cell
 //	prdmabench -matrix -faults partition,gray -workloads AB -points 6   # reduced cell set
 //	prdmabench -matrix -mutant ackbug   # mutant-detection check: expect exit 1
+//	prdmabench -parscale           # parallel-kernel scaling ladder + 1M-client open-loop smoke
+//	prdmabench -parscale -simpar 4 -logclients 1000000 -json BENCH_PR7.json
+//
+// -simpar selects the worker count for partitioned (multi-kernel) drivers.
+// The legacy figure, crashcheck and matrix drivers need a global event
+// order (crash injection, failover) and always run the serial kernel; they
+// accept -simpar as a no-op so harnesses can pass it uniformly.
 //
 // Experiment cells are independent deployments, so drivers fan them across
 // a worker pool (-parallel). Output is byte-identical at any setting; only
@@ -59,6 +66,9 @@ func main() {
 	clusterRun := flag.Bool("cluster", false, "run the sharded replicated-KV failover figure (or, with -crashcheck, the cluster crash-point sweep)")
 	shards := flag.Int("shards", 4, "cluster: number of shard groups")
 	replicas := flag.Int("replicas", 3, "cluster: replication factor per shard")
+	simpar := flag.Int("simpar", 0, "parallel simulation workers for partitioned drivers (0 = serial legacy kernel; the figure/crashcheck/matrix drivers need global event order and always run serial, accepting this flag as a no-op)")
+	parscale := flag.Bool("parscale", false, "run the parallel-kernel scaling ladder (workers 1/2/4/8 over the 8-shard partitioned cluster) plus the open-loop population smoke; write BENCH_PR7-style JSON with -json")
+	logclients := flag.Int("logclients", 1_000_000, "parscale: logical client population for the open-loop smoke")
 	matrixRun := flag.Bool("matrix", false, "run the adversarial fault x YCSB workload matrix (cluster crash-point sweep per cell)")
 	faults := flag.String("faults", "", "matrix: comma-separated adversary names (default: every builtin; see -matrix -faults help)")
 	workloads := flag.String("workloads", "", "matrix: YCSB workload letters, e.g. ABF (default: A-F)")
@@ -160,6 +170,17 @@ func main() {
 	}
 	o.Seed = *seed
 	o.Parallel = *parallel
+
+	if *parscale {
+		parscaleMain(o, *scale, *simpar, *logclients, *jsonOut, *csv)
+		if *memprofile != "" {
+			if err := writeHeapProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	var timings []runTiming
 	run := func(name string, fn func() []bench.Table) {

@@ -1,0 +1,53 @@
+package bench
+
+import "testing"
+
+// TestParallelScaleDeterminism runs a reduced worker ladder and checks the
+// driver's own verdict plus the per-rung invariants: same events, same
+// fingerprint, consistency clean (ParallelScale errors otherwise).
+func TestParallelScaleDeterminism(t *testing.T) {
+	o := tiny()
+	o.Ops = 400
+	sr, err := o.ParallelScale([]int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Deterministic {
+		t.Fatalf("worker ladder diverged: %+v", sr.Points)
+	}
+	if len(sr.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(sr.Points))
+	}
+	for _, p := range sr.Points {
+		if p.Events == 0 || p.Crossed == 0 {
+			t.Fatalf("workers=%d: degenerate counters %+v", p.Workers, p)
+		}
+		if p.Fingerprint != sr.Points[0].Fingerprint {
+			t.Fatalf("workers=%d: fingerprint mismatch", p.Workers)
+		}
+	}
+}
+
+// TestMillionClientSmokeReduced runs the population smoke at a reduced
+// population: invariants must hold and the run must be reproducible.
+func TestMillionClientSmokeReduced(t *testing.T) {
+	o := tiny()
+	o.Ops = 300
+	a, err := o.MillionClientSmoke(2, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OK {
+		t.Fatalf("smoke invariants failed: %+v", a)
+	}
+	if a.Completed != o.Ops || a.Errors != 0 {
+		t.Fatalf("completed=%d errors=%d", a.Completed, a.Errors)
+	}
+	b, err := o.MillionClientSmoke(4, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Fingerprint != a.Fingerprint {
+		t.Fatalf("smoke fingerprint diverged across workers: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+}

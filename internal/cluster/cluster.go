@@ -25,6 +25,10 @@ type Params struct {
 	// PoolSize is the number of replicated connections pooled per shard —
 	// the per-shard concurrency limit on the client side.
 	PoolSize int
+	// Gateways is the number of client-side gateway partitions in a
+	// partitioned deployment (NewPartitioned); the serial New ignores it
+	// and always builds one gateway host.
+	Gateways int
 	// VNodes is the virtual nodes per shard on the consistent-hash ring.
 	VNodes int
 	// Policy is the write-completion rule (replicate.WaitAll/WaitQuorum).
@@ -63,6 +67,7 @@ func DefaultParams() Params {
 		Shards:     4,
 		Replicas:   3,
 		PoolSize:   4,
+		Gateways:   2,
 		VNodes:     64,
 		Policy:     replicate.WaitQuorum,
 		Kind:       rpc.WFlushRPC,

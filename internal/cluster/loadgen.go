@@ -37,6 +37,11 @@ type Load struct {
 	// includes queueing delay, the paper's Fig. 8 methodology).
 	OpenLoop bool
 	Rate     float64
+	// LogicalClients, in a partitioned open-loop run (PCluster.RunLoad),
+	// sizes the modelled client population independently of the Clients
+	// worker pool: arrivals are attributed to logical clients drawn from
+	// this population (Poisson superposition). Zero means Clients.
+	LogicalClients int
 	// Verify embeds self-describing (key, version) payloads in every write
 	// and checks every read against the acknowledged history. Requires
 	// ObjSize ≥ 16 and snaps write keys to one writer per key so replicas

@@ -1,0 +1,526 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"time"
+
+	"prdma/internal/fabric"
+	"prdma/internal/host"
+	"prdma/internal/replicate"
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+	"prdma/internal/ycsb"
+)
+
+// This file is the partitioned (engine-mode) cluster deployment: the same
+// sharded, replicated durable KV as New, but spread over the kernels of one
+// sim.Engine so independent partitions can execute on parallel workers.
+//
+// Partition layout: gateway g is engine kernel g, shard group s (all of its
+// replicas) is kernel Gateways+s. Every client↔replica connection crosses a
+// partition boundary and therefore runs the rpc layer's engine mode
+// (WFlush-RPC only). Two deliberate scope cuts versus New:
+//
+//   - no failover controller: crash/recovery needs global-order surgery
+//     (log recovery walks server PM from client procs); the partitioned
+//     topology runs crash-free and the failover suites pin one kernel;
+//   - per-gateway bookkeeping: acknowledged-write records, counters and
+//     samples are owned by their gateway's kernel and merged canonically
+//     after the engine drains, so no shared mutable state crosses kernels.
+
+// PGroup is one shard group's partition: a kernel hosting all its replicas.
+type PGroup struct {
+	ID       int
+	K        *sim.Kernel
+	Replicas []*Replica
+}
+
+// PGateway is one client-side partition: a gateway host plus its per-shard
+// connection pools and gateway-local bookkeeping.
+type PGateway struct {
+	ID   int
+	K    *sim.Kernel
+	Host *host.Host
+
+	pools []*sim.Chan[*replicate.Client] // per shard
+	wrote []map[uint64]*wroteRec         // per shard: writes acked via this gateway
+
+	Puts, Gets int64
+}
+
+// PCluster is the partitioned deployment.
+type PCluster struct {
+	Eng  *sim.Engine
+	P    Params
+	Net  *fabric.Network
+	Ring *Ring
+
+	Gateways []*PGateway
+	Groups   []*PGroup
+}
+
+// NewPartitioned builds the partitioned cluster on a fresh engine with the
+// given worker count. The engine's lookahead is the fabric's one-way
+// propagation delay — the minimum cross-partition latency, so no message can
+// ever need delivery inside the current window.
+func NewPartitioned(workers int, p Params) (*PCluster, error) {
+	if p.Shards <= 0 || p.Replicas <= 0 || p.PoolSize <= 0 {
+		return nil, errors.New("cluster: Shards, Replicas, PoolSize must be positive")
+	}
+	if p.Gateways <= 0 {
+		return nil, errors.New("cluster: partitioned deployment needs Gateways > 0")
+	}
+	if p.Kind != rpc.WFlushRPC {
+		return nil, fmt.Errorf("cluster: partitioned deployment supports WFlushRPC only (engine mode), not %v", p.Kind)
+	}
+	c := &PCluster{
+		Eng:  sim.NewEngine(p.Net.Lookahead(), workers),
+		P:    p,
+		Ring: NewRing(p.Shards, p.VNodes, p.Seed),
+	}
+	for g := 0; g < p.Gateways; g++ {
+		c.Gateways = append(c.Gateways, &PGateway{ID: g, K: c.Eng.NewKernel()})
+	}
+	c.Net = fabric.New(c.Gateways[0].K, p.Net, p.Seed^0x5eed)
+	for g, gw := range c.Gateways {
+		gw.Host = host.New(gw.K, fmt.Sprintf("gw%d", g), c.Net, p.HostP, p.PM, p.NIC)
+	}
+	for s := 0; s < p.Shards; s++ {
+		grp := &PGroup{ID: s, K: c.Eng.NewKernel()}
+		for r := 0; r < p.Replicas; r++ {
+			h := host.New(grp.K, fmt.Sprintf("s%dr%d", s, r), c.Net, p.HostP, p.PM, p.NIC)
+			store, err := rpc.NewStore(h, p.Objects, p.ObjSize)
+			if err != nil {
+				return nil, err
+			}
+			store.VersionAt = 8
+			engine := rpc.NewServer(h, store, p.Cfg)
+			grp.Replicas = append(grp.Replicas, &Replica{Host: h, Store: store, Engine: engine, alive: true})
+		}
+		c.Groups = append(c.Groups, grp)
+	}
+	for _, gw := range c.Gateways {
+		gw.pools = make([]*sim.Chan[*replicate.Client], p.Shards)
+		gw.wrote = make([]map[uint64]*wroteRec, p.Shards)
+		for s, grp := range c.Groups {
+			gw.pools[s] = sim.NewChan[*replicate.Client](gw.K)
+			gw.wrote[s] = make(map[uint64]*wroteRec)
+			for i := 0; i < p.PoolSize; i++ {
+				var raw []rpc.Client
+				for _, rep := range grp.Replicas {
+					raw = append(raw, rpc.New(p.Kind, gw.Host, rep.Engine, p.Cfg))
+				}
+				rc, err := replicate.New(gw.K, p.Policy, raw)
+				if err != nil {
+					return nil, err
+				}
+				gw.pools[s].Push(rc)
+			}
+		}
+	}
+	return c, nil
+}
+
+func (gw *PGateway) record(shard int, key uint64, ver uint32, payload []byte, at sim.Time) {
+	rec := gw.wrote[shard][key]
+	if rec == nil {
+		rec = &wroteRec{buf: make([]byte, 0, len(payload))}
+		gw.wrote[shard][key] = rec
+	}
+	rec.buf = append(rec.buf[:0], payload...)
+	rec.ver = ver
+	rec.at = at
+}
+
+// PutOn routes one durable replicated write through gateway g. p must be a
+// proc on that gateway's kernel. The crash-free topology needs no retry
+// loop: an error here is a bug, not a failover window.
+func (c *PCluster) PutOn(p *sim.Proc, g int, key uint64, ver uint32, payload []byte) error {
+	gw := c.Gateways[g]
+	s := c.Ring.Shard(key)
+	req := rpc.Request{Op: rpc.OpWrite, Key: keyIndex(key, c.P.Objects), Size: len(payload), Payload: payload}
+	cl := gw.pools[s].Pop(p)
+	at, _, err := cl.Write(p, &req)
+	gw.pools[s].Push(cl)
+	if err != nil {
+		return fmt.Errorf("cluster: put key %d via gw %d: %w", key, g, err)
+	}
+	gw.Puts++
+	gw.record(s, key, ver, payload, at)
+	return nil
+}
+
+// GetOn routes one read through gateway g (p on that gateway's kernel).
+func (c *PCluster) GetOn(p *sim.Proc, g int, key uint64, size int) ([]byte, error) {
+	gw := c.Gateways[g]
+	s := c.Ring.Shard(key)
+	req := rpc.Request{Op: rpc.OpRead, Key: keyIndex(key, c.P.Objects), Size: size, Payload: empty}
+	cl := gw.pools[s].Pop(p)
+	resp, err := cl.Read(p, &req)
+	gw.pools[s].Push(cl)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: get key %d via gw %d: %w", key, g, err)
+	}
+	gw.Gets++
+	return resp.Data, nil
+}
+
+// Puts and Gets total the per-gateway counters.
+func (c *PCluster) Puts() int64 {
+	var n int64
+	for _, gw := range c.Gateways {
+		n += gw.Puts
+	}
+	return n
+}
+
+func (c *PCluster) Gets() int64 {
+	var n int64
+	for _, gw := range c.Gateways {
+		n += gw.Gets
+	}
+	return n
+}
+
+// CheckConsistency verifies, after the engine drains, that the last
+// acknowledged write per store slot is resident and byte-identical on every
+// replica of its shard. Acknowledged-write records are merged across
+// gateways with a deterministic (time, key, gateway) tie-break.
+func (c *PCluster) CheckConsistency() error {
+	buf := make([]byte, c.P.ObjSize)
+	for s, grp := range c.Groups {
+		type lastRec struct {
+			key uint64
+			gw  int
+			rec *wroteRec
+		}
+		lastPerSlot := make(map[uint64]lastRec)
+		for g, gw := range c.Gateways {
+			keys := make([]uint64, 0, len(gw.wrote[s]))
+			for k := range gw.wrote[s] {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, key := range keys {
+				rec := gw.wrote[s][key]
+				slot := keyIndex(key, c.P.Objects)
+				prev, ok := lastPerSlot[slot]
+				if !ok || rec.at > prev.rec.at ||
+					(rec.at == prev.rec.at && (key > prev.key || (key == prev.key && g > prev.gw))) {
+					lastPerSlot[slot] = lastRec{key: key, gw: g, rec: rec}
+				}
+			}
+		}
+		slots := make([]uint64, 0, len(lastPerSlot))
+		for slot := range lastPerSlot {
+			slots = append(slots, slot)
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+		for _, slot := range slots {
+			want := lastPerSlot[slot].rec.buf
+			for r, rep := range grp.Replicas {
+				if !rep.Store.Has(slot) {
+					return fmt.Errorf("shard %d replica %d: acked slot %d missing", s, r, slot)
+				}
+				got := rep.Host.PM.ReadBytesInto(rep.Store.Addr(slot), buf[:len(want)])
+				if !bytes.Equal(got, want) {
+					return fmt.Errorf("shard %d replica %d: acked slot %d diverged", s, r, slot)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PLoadResult aggregates a partitioned load run. Everything in it is a pure
+// function of the simulation, so Fingerprint is comparable across worker
+// counts.
+type PLoadResult struct {
+	Samples  []Sample
+	End      sim.Time
+	Writes   int
+	Reads    int
+	BadReads int
+	Errors   int
+
+	// QueueHWM is the deepest any gateway's open-loop arrival queue got —
+	// the boundedness witness for the large-population smoke runs.
+	QueueHWM int
+	// DistinctClients counts logical clients that issued at least one op
+	// (open loop with LogicalClients; else the closed-loop client count).
+	DistinctClients int
+}
+
+// Throughput returns completed ops per second of simulated time.
+func (r *PLoadResult) Throughput() float64 {
+	el := r.End.Duration().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(len(r.Samples)) / el
+}
+
+// Fingerprint hashes the merged samples and counters; byte-identical runs
+// have equal fingerprints.
+func (r *PLoadResult) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	for _, s := range r.Samples {
+		put(uint64(s.At))
+		put(uint64(s.Dur))
+		put(uint64(s.Shard))
+		if s.Write {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+	put(uint64(r.End))
+	put(uint64(r.Writes))
+	put(uint64(r.Reads))
+	put(uint64(r.BadReads))
+	put(uint64(r.Errors))
+	put(uint64(r.QueueHWM))
+	put(uint64(r.DistinctClients))
+	return h.Sum64()
+}
+
+// ownerGateway maps a verified key to the gateway whose client owns it:
+// snapWriter gives key k to client k mod Clients, and client c drives
+// through gateway c mod Gateways.
+func ownerGateway(key uint64, clients, gateways int) int {
+	return int(key%uint64(clients)) % gateways
+}
+
+// RunLoad drives the partitioned workload: it spawns per-gateway client
+// procs, runs the engine to completion, and merges the per-gateway results
+// canonically (by completion time, then gateway). Closed loop and the plain
+// open-loop mix are supported; YCSB workload mixes stay on the serial
+// cluster.
+//
+// In open loop, Load.LogicalClients (when > over the worker count) models a
+// client population far larger than the service-worker pool: the aggregate
+// Poisson arrival process is the superposition of the population's
+// individual processes, each arrival is attributed to one logical client,
+// and key choice is offset per client so the footprint spreads the way a
+// real population's would.
+func (c *PCluster) RunLoad(l Load) (*PLoadResult, error) {
+	if l.Clients <= 0 || l.Ops <= 0 {
+		return nil, fmt.Errorf("cluster: load needs Clients>0, Ops>0")
+	}
+	if l.Workload != 0 {
+		return nil, fmt.Errorf("cluster: YCSB workloads run on the serial cluster only")
+	}
+	G := c.P.Gateways
+	if l.KeySpace <= 0 {
+		l.KeySpace = int64(c.P.Objects)
+	}
+	if l.Verify {
+		if c.P.ObjSize < 16 {
+			return nil, fmt.Errorf("cluster: Verify needs ObjSize ≥ 16")
+		}
+		if int64(l.Clients) < l.KeySpace {
+			l.KeySpace -= l.KeySpace % int64(l.Clients)
+		}
+	}
+	if l.Theta == 0 {
+		l.Theta = 0.99
+	}
+
+	type gwRun struct {
+		samples   []Sample
+		writes    int
+		reads     int
+		badReads  int
+		errors    int
+		queueHWM  int
+		clientSet map[int]struct{}
+		issuedVer map[uint64]uint32
+		end       sim.Time
+	}
+	runs := make([]*gwRun, G)
+
+	for g := 0; g < G; g++ {
+		g := g
+		gw := c.Gateways[g]
+		run := &gwRun{issuedVer: make(map[uint64]uint32), clientSet: make(map[int]struct{})}
+		runs[g] = run
+		nextVer := make(map[uint64]uint32)
+
+		// op runs one operation on a proc of this gateway's kernel. Reads of
+		// keys owned by another gateway's clients check payload structure
+		// only: the issued-version history lives with the owner.
+		buf := make(map[int][]byte)
+		op := func(wp *sim.Proc, client int, write bool, key uint64, arrivedAt sim.Time) {
+			shard := c.Ring.Shard(key)
+			if write {
+				ver := uint32(1)
+				if l.Verify {
+					key = snapWriter(key, client, l.Clients, l.KeySpace)
+					shard = c.Ring.Shard(key)
+					ver = nextVer[key] + 1
+					nextVer[key] = ver
+					run.issuedVer[key] = ver
+				}
+				payload := buf[client]
+				if payload == nil {
+					payload = make([]byte, c.P.ObjSize)
+					buf[client] = payload
+				}
+				if l.Verify {
+					fill(payload, key, ver)
+				}
+				if err := c.PutOn(wp, g, key, ver, payload); err != nil {
+					run.errors++
+					return
+				}
+				run.writes++
+			} else {
+				data, err := c.GetOn(wp, g, key, c.P.ObjSize)
+				if err != nil {
+					run.errors++
+					return
+				}
+				run.reads++
+				if l.Verify {
+					maxVer := uint32(math.MaxUint32)
+					if ownerGateway(key, l.Clients, G) == g {
+						maxVer = run.issuedVer[key]
+					}
+					if err := checkFill(data, key, maxVer); err != nil {
+						run.badReads++
+					}
+				}
+			}
+			now := wp.Now()
+			run.samples = append(run.samples, Sample{At: now, Dur: now.Sub(arrivedAt), Shard: shard, Write: write})
+		}
+
+		wg := sim.NewWaitGroup(gw.K)
+		if l.OpenLoop {
+			if l.Rate <= 0 {
+				return nil, fmt.Errorf("cluster: open loop needs Rate > 0")
+			}
+			population := l.LogicalClients
+			if population < l.Clients {
+				population = l.Clients
+			}
+			popG := population/G + 1 // this gateway's logical clients: g, g+G, ...
+			ops := l.Ops / G
+			if g < l.Ops%G {
+				ops++
+			}
+			workers := l.Clients / G
+			if g < l.Clients%G {
+				workers++
+			}
+			if workers < 1 {
+				workers = 1
+			}
+			type arrival struct {
+				at     sim.Time
+				client int
+				key    uint64
+				write  bool
+				stop   bool
+			}
+			queue := sim.NewChan[arrival](gw.K)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				gw.K.Go(fmt.Sprintf("gw%d-worker", g), func(wp *sim.Proc) {
+					defer wg.Done()
+					for {
+						a := queue.Pop(wp)
+						if a.stop {
+							return
+						}
+						op(wp, a.client, a.write, a.key, a.at)
+					}
+				})
+			}
+			wg.Add(1)
+			gw.K.Go(fmt.Sprintf("gw%d-arrivals", g), func(ap *sim.Proc) {
+				defer wg.Done()
+				rng := sim.NewRand(l.Seed ^ (uint64(g)+1)*0xa11a)
+				zipf := ycsb.NewZipfian(rng, l.KeySpace, l.Theta)
+				for i := 0; i < ops; i++ {
+					gap := time.Duration(rng.Exp(1e9 / (l.Rate / float64(G))))
+					ap.Sleep(gap)
+					cid := g + G*rng.Intn(popG)
+					run.clientSet[cid] = struct{}{}
+					// Offset the zipfian draw per logical client so a large
+					// population touches a spread of keys, not one hot set.
+					key := (uint64(zipf.Scrambled()) + uint64(cid)*7919) % uint64(l.KeySpace)
+					queue.Push(arrival{
+						at: ap.Now(), client: cid, key: key,
+						write: rng.Float64() >= l.ReadFrac,
+					})
+					if d := queue.Len(); d > run.queueHWM {
+						run.queueHWM = d
+					}
+				}
+				for w := 0; w < workers; w++ {
+					queue.Push(arrival{stop: true})
+				}
+			})
+		} else {
+			// Closed loop: global client ids c with c mod G == g live here,
+			// each with a static ops quota (no cross-kernel shared counter).
+			for client := g; client < l.Clients; client += G {
+				wg.Add(1)
+				client := client
+				ops := l.Ops / l.Clients
+				if client < l.Ops%l.Clients {
+					ops++
+				}
+				run.clientSet[client] = struct{}{}
+				gw.K.Go(fmt.Sprintf("gw%d-client%d", g, client), func(wp *sim.Proc) {
+					defer wg.Done()
+					rng := sim.NewRand(l.Seed ^ (uint64(client)+1)*0x9e3779b97f4a7c15)
+					zipf := ycsb.NewZipfian(rng, l.KeySpace, l.Theta)
+					for i := 0; i < ops; i++ {
+						op(wp, client, rng.Float64() >= l.ReadFrac, uint64(zipf.Scrambled()), wp.Now())
+					}
+				})
+			}
+		}
+		gw.K.Go(fmt.Sprintf("gw%d-join", g), func(p *sim.Proc) {
+			wg.Wait(p)
+			run.end = p.Now()
+		})
+	}
+
+	c.Eng.Run()
+
+	res := &PLoadResult{}
+	for _, run := range runs {
+		res.Samples = append(res.Samples, run.samples...)
+		res.Writes += run.writes
+		res.Reads += run.reads
+		res.BadReads += run.badReads
+		res.Errors += run.errors
+		res.DistinctClients += len(run.clientSet)
+		if run.queueHWM > res.QueueHWM {
+			res.QueueHWM = run.queueHWM
+		}
+		if run.end > res.End {
+			res.End = run.end
+		}
+	}
+	// Canonical merge: completion time, then source gateway, then that
+	// gateway's completion order — the concatenation above is already in
+	// (gateway, local) order, so a stable sort on time is exactly that.
+	sort.SliceStable(res.Samples, func(i, j int) bool { return res.Samples[i].At < res.Samples[j].At })
+	return res, nil
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"testing"
+
+	"prdma/internal/rpc"
+)
+
+func partParams() Params {
+	p := DefaultParams()
+	p.Shards = 2
+	p.Replicas = 2
+	p.PoolSize = 2
+	p.Gateways = 2
+	p.Objects = 256
+	p.ObjSize = 64
+	return p
+}
+
+// runPart builds a partitioned cluster at the given worker count, drives l,
+// and returns (result, consistency error).
+func runPart(t *testing.T, workers int, l Load) (*PLoadResult, error) {
+	t.Helper()
+	c, err := NewPartitioned(workers, partParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunLoad(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, c.CheckConsistency()
+}
+
+// TestPartitionedClusterDeterminism pins the tentpole contract at the top of
+// the stack: the full partitioned KV cluster — gateways, replicated durable
+// connections, consistent-hash routing — produces an identical merged result
+// at 1, 2 and 4 workers, stays consistent, and verifies every read.
+func TestPartitionedClusterDeterminism(t *testing.T) {
+	l := Load{Clients: 8, Ops: 300, ReadFrac: 0.5, Verify: true, Seed: 42}
+	base, cerr := runPart(t, 1, l)
+	if cerr != nil {
+		t.Fatalf("workers=1: consistency: %v", cerr)
+	}
+	if base.Errors != 0 || base.BadReads != 0 {
+		t.Fatalf("workers=1: errors=%d badReads=%d", base.Errors, base.BadReads)
+	}
+	if len(base.Samples) != l.Ops {
+		t.Fatalf("workers=1: %d samples, want %d", len(base.Samples), l.Ops)
+	}
+	for _, workers := range []int{2, 4} {
+		res, cerr := runPart(t, workers, l)
+		if cerr != nil {
+			t.Fatalf("workers=%d: consistency: %v", workers, cerr)
+		}
+		if res.Fingerprint() != base.Fingerprint() {
+			t.Fatalf("workers=%d: fingerprint %x != workers=1 %x", workers, res.Fingerprint(), base.Fingerprint())
+		}
+	}
+}
+
+// TestPartitionedOpenLoopPopulation exercises the open-loop path with a
+// logical population far above the worker count: the run completes, arrivals
+// attribute to a wide slice of the population, the queue stays bounded, and
+// worker counts again agree bit-for-bit.
+func TestPartitionedOpenLoopPopulation(t *testing.T) {
+	l := Load{
+		Clients: 8, Ops: 400, ReadFrac: 0.5,
+		OpenLoop: true, Rate: 5e5, LogicalClients: 100_000,
+		Seed: 7,
+	}
+	base, cerr := runPart(t, 1, l)
+	if cerr != nil {
+		t.Fatalf("consistency: %v", cerr)
+	}
+	if base.Errors != 0 {
+		t.Fatalf("errors=%d", base.Errors)
+	}
+	if len(base.Samples) != l.Ops {
+		t.Fatalf("%d samples, want %d", len(base.Samples), l.Ops)
+	}
+	if base.DistinctClients < l.Ops/2 {
+		t.Fatalf("only %d distinct logical clients over %d ops", base.DistinctClients, l.Ops)
+	}
+	if base.QueueHWM <= 0 || base.QueueHWM > l.Ops {
+		t.Fatalf("queue high-water %d out of range", base.QueueHWM)
+	}
+	res2, _ := runPart(t, 2, l)
+	if res2.Fingerprint() != base.Fingerprint() {
+		t.Fatalf("workers=2 fingerprint diverged")
+	}
+}
+
+// TestPartitionedRejectsNonWFlush pins the guard: partitioned deployments
+// exist for WFlush-RPC only.
+func TestPartitionedRejectsNonWFlush(t *testing.T) {
+	p := partParams()
+	p.Kind = rpc.SFlushRPC
+	if _, err := NewPartitioned(1, p); err == nil {
+		t.Fatal("SFlushRPC partitioned deployment did not error")
+	}
+}
+
+// TestPartitionedMatchesSerialSemantics sanity-checks the data plane against
+// the serial cluster: same op mix, both end consistent with all reads
+// verified (timings differ — the topologies are different — but semantics
+// must not).
+func TestPartitionedMatchesSerialSemantics(t *testing.T) {
+	l := Load{Clients: 4, Ops: 200, ReadFrac: 0.3, Verify: true, Seed: 9}
+	res, cerr := runPart(t, 2, l)
+	if cerr != nil {
+		t.Fatalf("partitioned consistency: %v", cerr)
+	}
+	if res.Errors != 0 || res.BadReads != 0 {
+		t.Fatalf("partitioned: errors=%d badReads=%d", res.Errors, res.BadReads)
+	}
+	if res.Writes+res.Reads != l.Ops {
+		t.Fatalf("partitioned: writes=%d reads=%d, want total %d", res.Writes, res.Reads, l.Ops)
+	}
+	if res.End <= 0 || res.Throughput() <= 0 {
+		t.Fatalf("partitioned: degenerate timing end=%v", res.End)
+	}
+}

@@ -7,6 +7,7 @@ package fabric
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"prdma/internal/sim"
@@ -37,6 +38,18 @@ func DefaultParams() Params {
 	}
 }
 
+// Lookahead returns the conservative-PDES lookahead the network guarantees:
+// no message ever arrives sooner than the wire propagation delay, so an
+// engine partitioned along fabric boundaries may run each partition that far
+// ahead without risk (see sim.Engine).
+func (p Params) Lookahead() time.Duration { return p.Propagation }
+
+// Transferable is implemented by payloads that can cross between engine
+// partitions: CloneForTransfer returns a deep copy owned by nobody (no pools,
+// no refcounts), safe for the destination partition to read while the source
+// reuses the original's buffers.
+type Transferable interface{ CloneForTransfer() interface{} }
+
 // Message is one unit of wire transfer. Payload is opaque to the fabric.
 type Message struct {
 	From, To string
@@ -52,21 +65,27 @@ type Message struct {
 type pooledMsg struct {
 	Message
 	net     *Network
+	src     *Endpoint
 	dst     *Endpoint
 	arrive  sim.Time
 	release func()
 	fn      func()
 }
 
-// Network connects named endpoints.
+// Network connects named endpoints. Endpoints may live on different kernels
+// of one sim.Engine (AttachOn): each endpoint's egress state is then owned by
+// its partition, deliveries between partitions ride the engine's window
+// barrier, and the counters below — bumped from several partitions at once —
+// are maintained with atomic adds (commutative sums, so the totals stay
+// deterministic at any worker count).
 type Network struct {
 	K      *sim.Kernel
 	Params Params
 
-	endpoints map[string]*Endpoint
-	rng       *sim.Rand
-	msgFree   []*pooledMsg
-	inj       *Injector
+	endpoints   map[string]*Endpoint
+	rng         *sim.Rand
+	inj         *Injector
+	partitioned bool
 
 	// Stats. Dropped is the total; DroppedFault counts losses the model
 	// injected (DropProb and fault-injector partitions/bursts) and
@@ -88,7 +107,12 @@ func New(k *sim.Kernel, p Params, seed uint64) *Network {
 
 // SetInjector installs (or, with nil, removes) a fault injector. With no
 // injector the send paths are bit-for-bit identical to an unfaulted build.
-func (n *Network) SetInjector(i *Injector) { n.inj = i }
+func (n *Network) SetInjector(i *Injector) {
+	if i != nil && n.partitioned {
+		panic("fabric: the fault injector requires a single-kernel network (shared rng)")
+	}
+	n.inj = i
+}
 
 // Injector returns the installed fault injector (nil when none).
 func (n *Network) Injector() *Injector { return n.inj }
@@ -98,20 +122,52 @@ type Endpoint struct {
 	Name string
 	Net  *Network
 
+	k       *sim.Kernel // partition owning this endpoint's state
 	tx      *sim.Resource
 	up      bool
 	handler func(at sim.Time, m *Message)
 	// lastArrive enforces per-destination FIFO delivery so that RC/UC
-	// in-order semantics hold even under congestion jitter.
+	// in-order semantics hold even under congestion jitter. It is keyed by
+	// destination on the *source* endpoint, so it stays partition-local.
 	lastArrive map[string]sim.Time
+	// msgFree pools send envelopes. Per endpoint (not per network) so two
+	// partitions never share a free list: an intra-partition message is
+	// allocated and recycled on its source's kernel, and cross-partition
+	// messages bypass the pool entirely.
+	msgFree []*pooledMsg
 }
 
-// Attach creates an endpoint. The handler runs at message arrival time.
+// Attach creates an endpoint on the network's own kernel. The handler runs
+// at message arrival time.
 func (n *Network) Attach(name string, handler func(at sim.Time, m *Message)) *Endpoint {
+	return n.AttachOn(n.K, name, handler)
+}
+
+// AttachOn creates an endpoint whose state lives on kernel k — one partition
+// of a sim.Engine when the deployment is split across kernels. Sends between
+// endpoints on different kernels deep-copy Transferable payloads and deliver
+// through the engine barrier; everything else is identical to Attach.
+// Random per-message behavior (fault injection, busy-network queueing,
+// loss) draws from the network's single rng, whose consumption order would
+// depend on partition interleaving, so it is rejected on partitioned
+// networks.
+func (n *Network) AttachOn(k *sim.Kernel, name string, handler func(at sim.Time, m *Message)) *Endpoint {
 	if _, dup := n.endpoints[name]; dup {
 		panic(fmt.Sprintf("fabric: duplicate endpoint %q", name))
 	}
-	e := &Endpoint{Name: name, Net: n, tx: sim.NewResource(n.K), up: true, handler: handler, lastArrive: make(map[string]sim.Time)}
+	if k != n.K {
+		if k.Engine() == nil || k.Engine() != n.K.Engine() {
+			panic("fabric: AttachOn kernel must share an engine with the network's kernel")
+		}
+		if sim.Time(n.Params.Propagation) < sim.Time(k.Engine().Lookahead()) {
+			panic("fabric: engine lookahead exceeds the network propagation delay")
+		}
+		if n.inj != nil || n.Params.BusyQueueMean > 0 || n.Params.DropProb > 0 {
+			panic("fabric: fault injection and random congestion require a single-kernel network (shared rng)")
+		}
+		n.partitioned = true
+	}
+	e := &Endpoint{Name: name, Net: n, k: k, tx: sim.NewResource(k), up: true, handler: handler, lastArrive: make(map[string]sim.Time)}
 	n.endpoints[name] = e
 	return e
 }
@@ -153,7 +209,7 @@ func (n *Network) SerializeCost(size int) time.Duration {
 func (e *Endpoint) Send(m *Message) sim.Time {
 	n := e.Net
 	m.From = e.Name
-	n.BytesSent += int64(m.Size)
+	atomic.AddInt64(&n.BytesSent, int64(m.Size))
 
 	txDone := e.tx.Reserve(n.SerializeCost(m.Size))
 
@@ -161,8 +217,7 @@ func (e *Endpoint) Send(m *Message) sim.Time {
 	if n.inj != nil {
 		v = n.inj.judge(txDone, e.Name, m.To)
 		if v.drop {
-			n.Dropped++
-			n.DroppedFault++
+			n.countDrop(&n.DroppedFault)
 			return txDone
 		}
 	}
@@ -180,54 +235,86 @@ func (e *Endpoint) Send(m *Message) sim.Time {
 		// later messages to the same destination may overtake — bounded
 		// reordering.
 		arrive = arrive.Add(v.reorder)
-		n.Reordered++
+		atomic.AddInt64(&n.Reordered, 1)
 	}
 
 	if n.Params.DropProb > 0 && n.rng.Float64() < n.Params.DropProb {
-		n.Dropped++
-		n.DroppedFault++
+		n.countDrop(&n.DroppedFault)
 		return txDone
 	}
 	dst, ok := n.endpoints[m.To]
 	if !ok {
 		panic(fmt.Sprintf("fabric: send to unknown endpoint %q", m.To))
 	}
+	if dst.k != e.k {
+		// Cross-partition: detach the payload from the source's pools and
+		// hand delivery to the engine barrier (faults never reach here —
+		// they are rejected on partitioned networks, so no dup/reorder).
+		cm := &Message{From: m.From, To: m.To, Size: m.Size, Payload: transferPayload(m.Payload)}
+		e.k.Engine().Post(e.k, dst.k, arrive, func() { dst.deliverCross(arrive, cm) })
+		return txDone
+	}
 	deliver := func(at sim.Time) {
 		if !dst.up || dst.handler == nil {
-			n.Dropped++
-			n.DroppedDown++
+			n.countDrop(&n.DroppedDown)
 			return
 		}
-		n.Delivered++
+		atomic.AddInt64(&n.Delivered, 1)
 		dst.handler(at, m)
 	}
-	n.K.Schedule(arrive, func() { deliver(arrive) })
+	e.k.Schedule(arrive, func() { deliver(arrive) })
 	if v.dup > 0 {
-		n.Duplicated++
+		atomic.AddInt64(&n.Duplicated, 1)
 		dupAt := arrive.Add(v.dup)
-		n.K.Schedule(dupAt, func() { deliver(dupAt) })
+		e.k.Schedule(dupAt, func() { deliver(dupAt) })
 	}
 	return txDone
 }
 
-func (n *Network) getMsg() *pooledMsg {
-	if l := len(n.msgFree); l > 0 {
-		pm := n.msgFree[l-1]
-		n.msgFree = n.msgFree[:l-1]
+// countDrop bumps the total drop counter and one attribution counter.
+func (n *Network) countDrop(attr *int64) {
+	atomic.AddInt64(&n.Dropped, 1)
+	atomic.AddInt64(attr, 1)
+}
+
+// transferPayload deep-copies a payload for a partition crossing.
+func transferPayload(p interface{}) interface{} {
+	if t, ok := p.(Transferable); ok {
+		return t.CloneForTransfer()
+	}
+	return p
+}
+
+// deliverCross runs on the destination partition's kernel at arrival time.
+func (e *Endpoint) deliverCross(at sim.Time, m *Message) {
+	n := e.Net
+	if !e.up || e.handler == nil {
+		n.countDrop(&n.DroppedDown)
+		return
+	}
+	atomic.AddInt64(&n.Delivered, 1)
+	e.handler(at, m)
+}
+
+func (e *Endpoint) getMsg() *pooledMsg {
+	if l := len(e.msgFree); l > 0 {
+		pm := e.msgFree[l-1]
+		e.msgFree = e.msgFree[:l-1]
 		return pm
 	}
-	pm := &pooledMsg{net: n}
+	pm := &pooledMsg{net: e.Net, src: e}
 	pm.fn = func() { pm.deliver() }
 	return pm
 }
 
 // finish recycles the envelope and then fires the sender's release hook —
 // in that order, so a release that immediately sends again can reuse this
-// very envelope.
+// very envelope. Recycling happens on the source's kernel: intra-partition
+// deliveries share it, and cross-partition sends finish at send time.
 func (pm *pooledMsg) finish() {
-	n, rel := pm.net, pm.release
+	src, rel := pm.src, pm.release
 	pm.Payload, pm.release, pm.dst = nil, nil, nil
-	n.msgFree = append(n.msgFree, pm)
+	src.msgFree = append(src.msgFree, pm)
 	if rel != nil {
 		rel()
 	}
@@ -236,10 +323,9 @@ func (pm *pooledMsg) finish() {
 func (pm *pooledMsg) deliver() {
 	n, dst, arrive := pm.net, pm.dst, pm.arrive
 	if !dst.up || dst.handler == nil {
-		n.Dropped++
-		n.DroppedDown++
+		n.countDrop(&n.DroppedDown)
 	} else {
-		n.Delivered++
+		atomic.AddInt64(&n.Delivered, 1)
 		dst.handler(arrive, &pm.Message)
 	}
 	pm.finish()
@@ -251,10 +337,9 @@ func (pm *pooledMsg) deliver() {
 func (pm *pooledMsg) deliverAt(at sim.Time, final bool) {
 	n, dst := pm.net, pm.dst
 	if !dst.up || dst.handler == nil {
-		n.Dropped++
-		n.DroppedDown++
+		n.countDrop(&n.DroppedDown)
 	} else {
-		n.Delivered++
+		atomic.AddInt64(&n.Delivered, 1)
 		dst.handler(at, &pm.Message)
 	}
 	if final {
@@ -271,10 +356,10 @@ func (pm *pooledMsg) deliverAt(at sim.Time, final bool) {
 // only valid for the duration of the handler call.
 func (e *Endpoint) SendPooled(to string, size int, payload interface{}, release func()) sim.Time {
 	n := e.Net
-	pm := n.getMsg()
+	pm := e.getMsg()
 	pm.From, pm.To, pm.Size, pm.Payload = e.Name, to, size, payload
 	pm.release = release
-	n.BytesSent += int64(size)
+	atomic.AddInt64(&n.BytesSent, int64(size))
 
 	txDone := e.tx.Reserve(n.SerializeCost(size))
 
@@ -282,8 +367,7 @@ func (e *Endpoint) SendPooled(to string, size int, payload interface{}, release 
 	if n.inj != nil {
 		v = n.inj.judge(txDone, e.Name, to)
 		if v.drop {
-			n.Dropped++
-			n.DroppedFault++
+			n.countDrop(&n.DroppedFault)
 			pm.finish()
 			return txDone
 		}
@@ -299,12 +383,11 @@ func (e *Endpoint) SendPooled(to string, size int, payload interface{}, release 
 	e.lastArrive[to] = arrive
 	if v.reorder > 0 {
 		arrive = arrive.Add(v.reorder) // see Send: bounded reordering
-		n.Reordered++
+		atomic.AddInt64(&n.Reordered, 1)
 	}
 
 	if n.Params.DropProb > 0 && n.rng.Float64() < n.Params.DropProb {
-		n.Dropped++
-		n.DroppedFault++
+		n.countDrop(&n.DroppedFault)
 		pm.finish()
 		return txDone
 	}
@@ -312,17 +395,28 @@ func (e *Endpoint) SendPooled(to string, size int, payload interface{}, release 
 	if !ok {
 		panic(fmt.Sprintf("fabric: send to unknown endpoint %q", to))
 	}
+	if dst.k != e.k {
+		// Cross-partition: deep-copy the payload, then finish the envelope
+		// immediately — the sender's release fires at send time, which is
+		// legal because the copy means its buffers are no longer needed.
+		// The allocation per crossing is the price of partition isolation;
+		// intra-partition traffic stays pooled and alloc-free.
+		cm := &Message{From: pm.From, To: to, Size: size, Payload: transferPayload(payload)}
+		pm.finish()
+		e.k.Engine().Post(e.k, dst.k, arrive, func() { dst.deliverCross(arrive, cm) })
+		return txDone
+	}
 	pm.dst, pm.arrive = dst, arrive
 	if v.dup > 0 {
 		// Duplicated delivery allocates its closures — acceptable: faults
 		// are never active on the alloc-pinned benchmark paths.
-		n.Duplicated++
+		atomic.AddInt64(&n.Duplicated, 1)
 		dupAt := arrive.Add(v.dup)
-		n.K.Schedule(arrive, func() { pm.deliverAt(arrive, false) })
-		n.K.Schedule(dupAt, func() { pm.deliverAt(dupAt, true) })
+		e.k.Schedule(arrive, func() { pm.deliverAt(arrive, false) })
+		e.k.Schedule(dupAt, func() { pm.deliverAt(dupAt, true) })
 		return txDone
 	}
-	n.K.Schedule(arrive, pm.fn)
+	e.k.Schedule(arrive, pm.fn)
 	return txDone
 }
 

@@ -180,6 +180,15 @@ type Log struct {
 	CtrlEvery int
 	ctrlSkew  int
 
+	// CtrlPersist, when set, replaces the direct PM word persists of the
+	// control area. Engine mode uses it: the log's accounting runs on the
+	// client's partition while the ring's PM device lives on the server's,
+	// so the hook forwards (headOff, floor) there as a cross-partition
+	// message and arranges for done to run back on l.K once both words are
+	// durable. done must be called exactly once; the durable-span
+	// accounting (durUsed) is released only when it fires.
+	CtrlPersist func(at sim.Time, headOff int64, floor uint64, done func())
+
 	// Appends / Consumes / Recovered count operations for introspection.
 	Appends   int64
 	Consumes  int64
@@ -371,6 +380,23 @@ func (l *Log) persistCtrl(at sim.Time) sim.Time {
 		headOff = l.window[0].off
 		floor = l.window[0].seq
 	}
+	freed := l.freedSinceCtrl
+	l.freedSinceCtrl = 0
+	gen := l.gen
+	settle := func() {
+		if freed > 0 && l.gen == gen {
+			l.durUsed -= freed
+		}
+	}
+	if l.CtrlPersist != nil {
+		// Engine mode: the PM device lives on another partition; the hook
+		// performs the word persists there and calls settle back on this
+		// kernel when they complete. The local completion time is unknown
+		// (it is at plus a cross-partition round trip), so return `at`;
+		// durable-span accounting waits for settle either way.
+		l.CtrlPersist(at, headOff, floor, settle)
+		return at
+	}
 	// Two atomic 8-byte persists; each may individually lag after a crash,
 	// which recovery tolerates (at-least-once replay).
 	t1 := l.PM.PersistWord(at, l.base, uint64(headOff), pmem.CPU)
@@ -378,15 +404,8 @@ func (l *Log) persistCtrl(at sim.Time) sim.Time {
 	if t1 > t2 {
 		t2 = t1
 	}
-	freed := l.freedSinceCtrl
-	l.freedSinceCtrl = 0
 	if freed > 0 {
-		gen := l.gen
-		l.K.Schedule(t2, func() {
-			if l.gen == gen {
-				l.durUsed -= freed
-			}
-		})
+		l.K.Schedule(t2, settle)
 	}
 	return t2
 }

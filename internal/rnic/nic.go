@@ -80,7 +80,10 @@ func New(k *sim.Kernel, name string, net *fabric.Network, pm *pmem.Device, llc *
 		rx: sim.NewResource(k), tx: sim.NewResource(k), pcie: sim.NewResource(k),
 		qps: make(map[int]*QP),
 	}
-	n.EP = net.Attach(name, n.handleWire)
+	// Attach on the host's kernel: identical to Attach on a single-kernel
+	// deployment, and the endpoint's partition when the host lives on one
+	// kernel of a multi-kernel engine.
+	n.EP = net.AttachOn(k, name, n.handleWire)
 	return n
 }
 

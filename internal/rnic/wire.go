@@ -74,6 +74,25 @@ func (n *NIC) newWireMsg() *wireMsg {
 	return m
 }
 
+// CloneForTransfer implements fabric.Transferable: when a message crosses
+// between engine partitions the fabric detaches it from the sending NIC's
+// pool with a deep copy. The clone has no owning NIC, so the receiver's
+// ref/unref calls are no-ops and the garbage collector owns its lifetime;
+// Data and Tail are copied because the originals view sender buffers that
+// the sender is free to reuse the moment its release hook fires.
+func (m *wireMsg) CloneForTransfer() interface{} {
+	c := &wireMsg{}
+	*c = *m
+	c.nic, c.refs, c.releaseFn = nil, 0, nil
+	if m.Data != nil {
+		c.Data = append([]byte(nil), m.Data...)
+	}
+	if m.Tail != nil {
+		c.Tail = append([]byte(nil), m.Tail...)
+	}
+	return c
+}
+
 // ref and unref are no-ops for caller-constructed (unpooled) messages,
 // which have no owning pool and are garbage-collected as before.
 func (m *wireMsg) ref() {

@@ -255,6 +255,14 @@ type conn struct {
 	// log is the connection's redo log (durable RPCs only).
 	log *redolog.Log
 
+	// eng is non-nil when the client and server hosts live on different
+	// kernels of one sim.Engine (cross-partition connection). The log then
+	// runs on the client's kernel and every hop between the two sides —
+	// consume notifications, control-word persists — travels as a
+	// lookahead-delayed engine message. Engine mode supports WFlush-RPC
+	// only and excludes crash/failover (see NewDurable).
+	eng *sim.Engine
+
 	seq     uint64
 	pending map[uint64]*sim.Future[respMsg]
 	// batches passes decoded batch contents to the server (see batch.go).
@@ -284,6 +292,13 @@ func newConn(kind Kind, cli *host.Host, srv *Server, cfg Config, tp rnic.Transpo
 		imgBySeq:  make(map[uint64][]byte),
 		respBySeq: make(map[uint64][]byte),
 	}
+	if cli.K != srv.H.K {
+		eng := cli.K.Engine()
+		if eng == nil || eng != srv.H.K.Engine() {
+			panic("rpc: cross-kernel connection requires both hosts on one sim.Engine")
+		}
+		c.eng = eng
+	}
 	c.cq = cli.NIC.CreateQP(tp)
 	c.sq = srv.H.NIC.CreateQP(tp)
 	rnic.Connect(c.cq, c.sq)
@@ -301,13 +316,39 @@ func newConn(kind Kind, cli *host.Host, srv *Server, cfg Config, tp rnic.Transpo
 	return c
 }
 
-// newLog attaches a redo log to the connection (durable RPCs).
+// newLog attaches a redo log to the connection (durable RPCs). The ring
+// bytes always live in the server's PM; the accounting side (Reserve,
+// Consume, the FIFO window) runs on whichever kernel issues requests — the
+// server's normally, the client's in engine mode, where Reserve must not
+// touch server-partition state from the client's kernel.
 func (c *conn) newLog() {
 	base, err := c.srv.H.PMArena.Alloc(c.cfg.LogBytes)
 	if err != nil {
 		panic(err)
 	}
-	c.log = redolog.New(c.srv.H.K, c.srv.H.PM, base, c.cfg.LogBytes)
+	logK := c.srv.H.K
+	if c.eng != nil {
+		logK = c.cli.K
+	}
+	c.log = redolog.New(logK, c.srv.H.PM, base, c.cfg.LogBytes)
+	if c.eng != nil {
+		// Control-word persists execute where the PM device lives: hop to
+		// the server partition, persist both words, and hop back to settle
+		// the durable-span accounting. The extra 2·lookahead lag only
+		// delays space reclamation — correctness never depends on it.
+		srvK, cliK := c.srv.H.K, c.cli.K
+		pm, logBase := c.srv.H.PM, base
+		c.log.CtrlPersist = func(at sim.Time, headOff int64, floor uint64, done func()) {
+			c.eng.PostAfterLookahead(cliK, srvK, func() {
+				t1 := pm.PersistWord(srvK.Now(), logBase, uint64(headOff), pmem.CPU)
+				t2 := pm.PersistWord(srvK.Now(), logBase+8, floor, pmem.CPU)
+				if t1 > t2 {
+					t2 = t1
+				}
+				srvK.Schedule(t2, func() { c.eng.PostAfterLookahead(srvK, cliK, done) })
+			})
+		}
+	}
 }
 
 func (c *conn) nextSeq() uint64 {
@@ -415,9 +456,11 @@ func (c *conn) postClientRecvs() {
 // connection's header-only buffer pool when there is no data to carry — the
 // write-path case, where the reply is pure control traffic. The buffer is
 // released when seq completes at the client. Responses with data still
-// allocate: their bytes escape to the caller through Response.Data.
+// allocate: their bytes escape to the caller through Response.Data. Engine
+// mode always allocates: the responder runs on the server's kernel, and the
+// pool (respFree/respBySeq) is client-kernel state it must not touch.
 func (c *conn) encodeRespPooled(seq uint64, data []byte) []byte {
-	if len(data) > 0 {
+	if len(data) > 0 || c.eng != nil {
 		return encodeResp(seq, data)
 	}
 	var b []byte

@@ -36,11 +36,24 @@ func nativeSFlush(kind Kind, srv *Server) bool {
 }
 
 // NewDurable connects one of the durable RPC clients from cli to srv.
+//
+// When cli and srv live on different kernels of one sim.Engine the
+// connection runs in engine mode: the redo log's accounting moves to the
+// client's kernel and the consume/control-persist hops cross partitions as
+// lookahead-delayed messages. Only WFlush-RPC supports this — the other
+// families push state the wrong way across the boundary (server-side
+// RFlush notifications match client-registered expectations, SFlush
+// reservations queue client state the server NIC pops) — and the
+// crash/failover machinery (Reestablish, CallBatch stash) stays
+// single-kernel by design.
 func NewDurable(kind Kind, cli *host.Host, srv *Server, cfg Config) Client {
 	if !kind.Durable() {
 		panic(fmt.Sprintf("rpc: %v is not a durable kind", kind))
 	}
 	c := &durableClient{conn: newConn(kind, cli, srv, cfg, rnic.RC)}
+	if c.eng != nil && kind != WFlushRPC {
+		panic(fmt.Sprintf("rpc: %v does not support cross-partition connections (engine mode is WFlush-RPC only)", kind))
+	}
 	c.newLog()
 	c.wire()
 	return c
@@ -151,7 +164,21 @@ func (c *durableClient) enqueueLogged(seq uint64, req *Request, respond func(*si
 	}
 	var consume func(at sim.Time)
 	if mutatingOp(req.Op) {
-		consume = func(at sim.Time) { c.log.Consume(at, seq) }
+		if c.eng != nil {
+			// Engine mode: the log lives on the client's kernel, so the
+			// worker's completion crosses back as a lookahead-delayed
+			// message. The entry stays in the durable window one hop
+			// longer than strictly needed — reclamation lag, not a
+			// correctness concern.
+			srvK, cliK := c.srv.H.K, c.cli.K
+			consume = func(at sim.Time) {
+				c.eng.PostAfterLookahead(srvK, cliK, func() {
+					c.log.Consume(cliK.Now(), seq)
+				})
+			}
+		} else {
+			consume = func(at sim.Time) { c.log.Consume(at, seq) }
+		}
 	}
 	c.srv.enqueue(workItem{req: req, reqs: reqs, respond: respond, consume: consume})
 }
@@ -367,6 +394,12 @@ func readResponse(issued sim.Time, rm respMsg, durF, done *sim.Future[sim.Time])
 // with no writes skips the flush machinery entirely (§5.5) — its durability
 // future is just the transport acknowledgement.
 func (c *durableClient) CallBatch(p *sim.Proc, reqs []*Request) ([]*Response, error) {
+	if c.eng != nil {
+		// The batch stash (c.batches) is written by the client and read by
+		// the server; cross-partition that is a data race, and no engine
+		// workload batches.
+		panic("rpc: CallBatch is not supported on cross-partition connections")
+	}
 	issued := p.Now()
 	breq, hasWrite := makeBatchFrame(reqs)
 	n := reqWireBytes(breq)

@@ -1,0 +1,119 @@
+package rpc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"prdma/internal/fabric"
+	"prdma/internal/host"
+	"prdma/internal/pmem"
+	"prdma/internal/rnic"
+	"prdma/internal/sim"
+)
+
+// engineTrace runs a WFlush-RPC workload with the client and server on
+// separate kernels of one engine and returns a textual trace of every
+// response's timing plus end-state counters. The trace must be identical at
+// every worker count: the partitioning is fixed, so worker threads are pure
+// execution resources.
+func engineTrace(t *testing.T, workers, procs, ops int) (string, uint64) {
+	t.Helper()
+	fp := fabric.DefaultParams()
+	e := sim.NewEngine(fp.Lookahead(), workers)
+	kc, ks := e.NewKernel(), e.NewKernel()
+	net := fabric.New(kc, fp, 7)
+	np := rnic.DefaultParams()
+	cli := host.New(kc, "cli", net, host.DefaultParams(), pmem.DefaultParams(), np)
+	srv := host.New(ks, "srv", net, host.DefaultParams(), pmem.DefaultParams(), np)
+	store, err := NewStore(srv, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(srv, store, DefaultConfig())
+	c := New(WFlushRPC, cli, s, s.Cfg)
+
+	var b bytes.Buffer
+	done := 0
+	for pi := 0; pi < procs; pi++ {
+		pi := pi
+		kc.Go(fmt.Sprintf("drv-%d", pi), func(p *sim.Proc) {
+			payload := bytes.Repeat([]byte{byte(pi + 1)}, 256)
+			for i := 0; i < ops; i++ {
+				key := uint64(pi*ops + i)
+				wr, err := c.Call(p, &Request{Op: OpWrite, Key: key, Size: 256, Payload: payload})
+				if err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				rd, err := c.Call(p, &Request{Op: OpRead, Key: key, Size: 256, Payload: []byte{}})
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if len(rd.Data) != 256 || rd.Data[0] != byte(pi+1) {
+					t.Errorf("proc %d op %d: read back wrong contents", pi, i)
+					return
+				}
+				fmt.Fprintf(&b, "p%d op%d w[%d %d %d] r[%d %d]\n", pi, i,
+					wr.IssuedAt, wr.ReadyAt, wr.DurableAt, rd.IssuedAt, rd.ReadyAt)
+				done++
+			}
+		})
+	}
+	e.Run()
+	if done != procs*ops {
+		t.Fatalf("workers=%d: %d/%d ops completed (deadlock?)", workers, done, procs*ops)
+	}
+	fmt.Fprintf(&b, "handled=%d appends=%d consumes=%d outstanding=%d\n",
+		s.Handled, c.(*durableClient).log.Appends, c.(*durableClient).log.Consumes,
+		c.(*durableClient).log.Outstanding())
+	return b.String(), e.Crossed()
+}
+
+// TestEngineModeWFlushDeterminism pins the tentpole contract at the RPC
+// layer: a cross-partition WFlush-RPC connection produces byte-identical
+// response timings at 1, 2 and 4 workers, and traffic genuinely crosses the
+// partition boundary.
+func TestEngineModeWFlushDeterminism(t *testing.T) {
+	const procs, ops = 4, 25
+	want, crossed := engineTrace(t, 1, procs, ops)
+	if crossed == 0 {
+		t.Fatal("no messages crossed the partition boundary")
+	}
+	for _, workers := range []int{2, 4} {
+		got, _ := engineTrace(t, workers, procs, ops)
+		if got != want {
+			t.Fatalf("workers=%d: trace diverged from workers=1\n--- workers=1\n%.2000s\n--- workers=%d\n%.2000s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// TestEngineModeRejectsUnsupported pins the guard rails: engine mode exists
+// for WFlush-RPC only, and the other durable families fail loudly instead of
+// racing across the partition boundary.
+func TestEngineModeRejectsUnsupported(t *testing.T) {
+	fp := fabric.DefaultParams()
+	e := sim.NewEngine(fp.Lookahead(), 1)
+	kc, ks := e.NewKernel(), e.NewKernel()
+	net := fabric.New(kc, fp, 7)
+	np := rnic.DefaultParams()
+	cli := host.New(kc, "cli", net, host.DefaultParams(), pmem.DefaultParams(), np)
+	srv := host.New(ks, "srv", net, host.DefaultParams(), pmem.DefaultParams(), np)
+	store, err := NewStore(srv, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(srv, store, DefaultConfig())
+	for _, kind := range []Kind{SFlushRPC, WRFlushRPC, SRFlushRPC} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v: cross-partition connection did not panic", kind)
+				}
+			}()
+			New(kind, cli, s, s.Cfg)
+		}()
+	}
+}

@@ -54,6 +54,12 @@ func (c *durableClient) CallTimeout(p *sim.Proc, req *Request, d time.Duration) 
 // server crashes again mid-recovery, the whole procedure retries against the
 // new incarnation.
 func (c *durableClient) Reestablish(p *sim.Proc) int {
+	if c.eng != nil {
+		// Recovery walks server PM from the client proc and replays into a
+		// rebuilt connection — inherently global-order work. Partitioned
+		// topologies run crash-free; the failover suites pin one kernel.
+		panic("rpc: Reestablish is not supported on cross-partition connections")
+	}
 	log := c.log
 	for {
 		epoch := c.srv.H.PM.Epoch()

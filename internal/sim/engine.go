@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Engine runs several Kernels as one deterministic simulation using
+// conservative time windows (classic conservative PDES with a global window
+// barrier instead of per-link null messages).
+//
+// The deployment is partitioned: every simulated component lives on exactly
+// one kernel, and all interaction between partitions goes through Post, which
+// must target a timestamp at least one lookahead past the sender's clock. The
+// lookahead is the minimum cross-partition latency the model guarantees — for
+// the RDMA fabric, the wire propagation delay, since no message can arrive
+// sooner than it.
+//
+// The window loop is:
+//
+//  1. deliver all cross-partition messages emitted by the previous window
+//     (merged in canonical (time, source-partition, emission-index) order,
+//     so destination sequence numbers — the tie-break — are reproducible),
+//  2. find the earliest pending event across all kernels; call it T,
+//  3. run every kernel up to the window edge T+lookahead-1, in parallel,
+//  4. barrier, go to 1.
+//
+// Step 3 is safe because a message sent at time s >= T arrives at
+// s+lookahead > T+lookahead-1: nothing a peer does inside the window can
+// affect this window. Step 2's canonical merge makes the result independent
+// of worker count and interleaving: kernels are deterministic in isolation,
+// and everything that crosses between them is ordered by data, not by
+// execution order. That is the engine's contract — byte-identical output at
+// a fixed seed for any number of workers, including one.
+type Engine struct {
+	kernels   []*Kernel
+	lookahead Time
+	workers   int
+
+	// deadline is the inclusive edge of the window being executed; workers
+	// read it (written by the coordinator strictly before dispatch).
+	deadline Time
+	// outboxes holds cross-partition messages: one slot per source kernel,
+	// appended only by events running on that kernel.
+	outboxes [][]crossMsg
+	merged   []crossMsg // flush scratch, reused across windows
+
+	stopped atomic.Bool
+	crossed uint64 // cross-partition messages delivered
+}
+
+type crossMsg struct {
+	dst *Kernel
+	at  Time
+	fn  func()
+}
+
+// NewEngine returns an engine with the given lookahead (the minimum
+// cross-partition delay any Post will honor) and worker goroutine count.
+// workers <= 1 runs the windows on the calling goroutine; the output is
+// byte-identical at any setting. Kernels are added with NewKernel.
+func NewEngine(lookahead time.Duration, workers int) *Engine {
+	if lookahead <= 0 {
+		panic("sim: engine lookahead must be positive")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{lookahead: Time(lookahead), workers: workers, deadline: -1}
+}
+
+// NewKernel adds a partition to the engine and returns its kernel.
+// Partitions must all be created before Run.
+func (e *Engine) NewKernel() *Kernel {
+	k := New()
+	k.eng = e
+	k.engID = len(e.kernels)
+	e.kernels = append(e.kernels, k)
+	e.outboxes = append(e.outboxes, nil)
+	return k
+}
+
+// Kernels returns the partition kernels in creation order.
+func (e *Engine) Kernels() []*Kernel { return e.kernels }
+
+// Lookahead returns the engine's conservative lookahead.
+func (e *Engine) Lookahead() time.Duration { return time.Duration(e.lookahead) }
+
+// Workers returns the worker count the engine was built with.
+func (e *Engine) Workers() int { return e.workers }
+
+// Fired reports the total events executed across all partitions.
+func (e *Engine) Fired() uint64 {
+	var n uint64
+	for _, k := range e.kernels {
+		n += k.Fired()
+	}
+	return n
+}
+
+// Crossed reports how many cross-partition messages have been delivered.
+func (e *Engine) Crossed() uint64 { return e.crossed }
+
+// Post schedules fn at time `at` on the dst partition, from an event
+// currently executing on src (or from setup code before Run). The timestamp
+// must be beyond the current window edge; posts at src.Now() plus at least
+// the lookahead always are. Messages are buffered per source and delivered
+// at the next window barrier in canonical order.
+func (e *Engine) Post(src, dst *Kernel, at Time, fn func()) {
+	if src == dst {
+		src.Schedule(at, fn)
+		return
+	}
+	if src.eng != e || dst.eng != e {
+		panic("sim: Post across kernels that do not share this engine")
+	}
+	if at <= e.deadline {
+		panic(fmt.Sprintf("sim: cross-partition post at %v inside the current window (edge %v): lookahead violated", at, e.deadline))
+	}
+	e.outboxes[src.engID] = append(e.outboxes[src.engID], crossMsg{dst: dst, at: at, fn: fn})
+}
+
+// PostAfterLookahead schedules fn on dst exactly one lookahead past src's
+// clock — the earliest always-legal cross-partition timestamp.
+func (e *Engine) PostAfterLookahead(src, dst *Kernel, fn func()) {
+	e.Post(src, dst, src.Now()+e.lookahead, fn)
+}
+
+// Stop makes Run return at the next window barrier. Safe to call from any
+// partition's events.
+func (e *Engine) Stop() { e.stopped.Store(true) }
+
+// Run executes windows until every partition is quiescent (no pending events
+// and no undelivered cross messages) or Stop is called.
+func (e *Engine) Run() {
+	e.stopped.Store(false)
+	var work chan *Kernel
+	var wg sync.WaitGroup
+	if e.workers > 1 {
+		work = make(chan *Kernel)
+		for i := 0; i < e.workers; i++ {
+			go func() {
+				for k := range work {
+					k.RunUntil(e.deadline)
+					wg.Done()
+				}
+			}()
+		}
+		defer close(work)
+	}
+	for !e.stopped.Load() {
+		e.flush()
+		next := Time(math.MaxInt64)
+		for _, k := range e.kernels {
+			if t, ok := k.NextEventAt(); ok && t < next {
+				next = t
+			}
+		}
+		if next == math.MaxInt64 {
+			return
+		}
+		// The window opens at the globally earliest event: idle stretches
+		// are jumped in one step, exactly like the serial kernel.
+		e.deadline = next + e.lookahead - 1
+		if e.workers <= 1 {
+			for _, k := range e.kernels {
+				if t, ok := k.NextEventAt(); ok && t <= e.deadline {
+					k.RunUntil(e.deadline)
+				}
+			}
+			continue
+		}
+		n := 0
+		for _, k := range e.kernels {
+			if t, ok := k.NextEventAt(); ok && t <= e.deadline {
+				n++
+			}
+		}
+		wg.Add(n)
+		for _, k := range e.kernels {
+			if t, ok := k.NextEventAt(); ok && t <= e.deadline {
+				work <- k
+			}
+		}
+		wg.Wait()
+	}
+}
+
+// flush delivers buffered cross messages into their destination kernels in
+// canonical order: ascending timestamp, ties by (source partition, emission
+// index). Destination Schedule assigns the tie-breaking sequence numbers in
+// this order, so the resulting execution order is a pure function of the
+// messages' data — independent of how many workers produced them.
+func (e *Engine) flush() {
+	m := e.merged[:0]
+	for i, box := range e.outboxes {
+		m = append(m, box...)
+		for j := range box {
+			box[j] = crossMsg{}
+		}
+		e.outboxes[i] = box[:0]
+	}
+	if len(m) == 0 {
+		return
+	}
+	sortCrossStable(m)
+	for i := range m {
+		cm := &m[i]
+		cm.dst.Schedule(cm.at, cm.fn)
+		*cm = crossMsg{}
+	}
+	e.crossed += uint64(len(m))
+	e.merged = m[:0]
+}
+
+// sortCrossStable is a stable insertion/merge sort by timestamp. Cross
+// batches per window are small (bounded by messages in flight), and the
+// concatenation is already sorted per source, so insertion sort with a
+// binary search beats the generic sort for the common sizes.
+func sortCrossStable(m []crossMsg) {
+	for i := 1; i < len(m); i++ {
+		if m[i].at >= m[i-1].at {
+			continue
+		}
+		// Binary search the insertion point in the sorted prefix; equal
+		// timestamps insert after, preserving source order (stability).
+		lo, hi := 0, i
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if m[mid].at <= m[i].at {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		cm := m[i]
+		copy(m[lo+1:i+1], m[lo:i])
+		m[lo] = cm
+	}
+}

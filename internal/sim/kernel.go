@@ -25,20 +25,6 @@ import (
 	"time"
 )
 
-// Time is a point in virtual time, in nanoseconds since the start of the run.
-type Time int64
-
-// Add returns the time d after t.
-func (t Time) Add(d time.Duration) Time { return t + Time(d) }
-
-// Sub returns the duration between t and earlier time s.
-func (t Time) Sub(s Time) time.Duration { return time.Duration(t - s) }
-
-// Duration converts t to a duration since time zero.
-func (t Time) Duration() time.Duration { return time.Duration(t) }
-
-func (t Time) String() string { return time.Duration(t).String() }
-
 // event is a scheduled callback. Events are pooled: once fired (or popped
 // after cancellation) they return to the kernel's free list and are reused.
 // seq doubles as a generation tag — it is unique per scheduling and reset to
@@ -150,11 +136,33 @@ type Kernel struct {
 
 	procs   int // live procs, for leak diagnostics
 	stopped bool
+
+	// eng/engID are set when the kernel is one partition of a multi-kernel
+	// Engine (see engine.go); standalone kernels have eng nil, engID -1.
+	eng   *Engine
+	engID int
 }
 
 // New returns a fresh kernel at virtual time zero.
 func New() *Kernel {
-	return &Kernel{handoff: make(chan struct{})}
+	return &Kernel{handoff: make(chan struct{}), engID: -1}
+}
+
+// Engine returns the multi-kernel engine this kernel belongs to, or nil for
+// a standalone kernel.
+func (k *Kernel) Engine() *Engine { return k.eng }
+
+// Partition returns the kernel's partition index within its engine, or -1
+// for a standalone kernel.
+func (k *Kernel) Partition() int { return k.engID }
+
+// NextEventAt reports the timestamp of the earliest scheduled event, if any.
+// Canceled events still parked in the heap count: popping them is progress.
+func (k *Kernel) NextEventAt() (Time, bool) {
+	if len(k.events) == 0 {
+		return 0, false
+	}
+	return k.events[0].at, true
 }
 
 // Now returns the current virtual time.
