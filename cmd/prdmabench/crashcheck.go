@@ -152,6 +152,51 @@ func clusterCrashcheckMain(seed int64, points, shards, replicas, objSize int) {
 	}
 }
 
+// partitionedCrashcheckMain is the `-crashcheck -cluster -simpar N` entry
+// point: the window-quiesce crash sweep over the partitioned (multi-kernel)
+// deployment. Crash points are lookahead-window indices, which are
+// worker-count-stable, so the minimal repro it prints replays at any
+// -simpar — including 1.
+func partitionedCrashcheckMain(seed int64, points, shards, replicas, objSize, workers int, mutant string) {
+	start := time.Now()
+	cfg := crashcheck.DefaultPartitionedConfig(seed)
+	if points > 0 {
+		cfg.Points = points
+	}
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+	if replicas > 0 {
+		cfg.Replicas = replicas
+	}
+	if objSize > 0 {
+		cfg.ObjSize = objSize
+	}
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	cfg.Mutant = mutant
+	res := crashcheck.PartitionedSweep(cfg)
+	fmt.Printf("partitioned %dx%d seed=%-4d workers=%d points=%-4d windows=%-6d failovers=%-4d resyncs=%-4d replays=%-5d shipped=%-5d pmfull=%-4d violations=%d\n",
+		cfg.Shards, cfg.Replicas, res.Seed, res.Workers, res.Points, res.Windows,
+		res.Failovers, res.Resyncs, res.Replayed, res.Shipped, res.PMFull, res.ViolationCount)
+	for _, v := range res.Violations {
+		fmt.Printf("  VIOLATION %v\n", v)
+	}
+	if res.ViolationCount > len(res.Violations) {
+		fmt.Printf("  ... %d further violations truncated\n", res.ViolationCount-len(res.Violations))
+	}
+	if min := res.Minimal(); min != nil {
+		fmt.Printf("  minimal repro: -crashcheck -cluster -simpar 1 -seed %d -points %d -shards %d -replicas %d  crash at window %d (t=%v)\n",
+			min.Seed, cfg.Points, cfg.Shards, cfg.Replicas, min.Point.Event, min.At)
+	}
+	fmt.Fprintf(os.Stderr, "[partitioned crashcheck done in %v]\n", time.Since(start).Round(time.Millisecond))
+	if res.ViolationCount > 0 {
+		fmt.Fprintf(os.Stderr, "crashcheck: partitioned sweep violated failover invariants\n")
+		os.Exit(1)
+	}
+}
+
 // crashcheckMain is the -crashcheck entry point; it exits non-zero when
 // any sweep finds a violation.
 func crashcheckMain(o crashcheckOptions) {

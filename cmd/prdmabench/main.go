@@ -17,6 +17,8 @@
 //	prdmabench -cluster            # sharded replicated KV: failover figure (4 shards x 3 replicas)
 //	prdmabench -cluster -shards 8 -replicas 5 -scale full       # bigger deployment
 //	prdmabench -crashcheck -cluster -points 20   # crash-point sweep over the cluster failover/resync path
+//	prdmabench -crashcheck -cluster -simpar 4 -points 12   # window-barrier sweep on the partitioned engine
+//	prdmabench -crashcheck -cluster -simpar 2 -mutant ackbug   # partitioned mutant-detection check (expect exit 1)
 //	prdmabench -matrix             # adversarial fault x YCSB A-F matrix, crashcheck asserted per cell
 //	prdmabench -matrix -faults partition,gray -workloads AB -points 6   # reduced cell set
 //	prdmabench -matrix -mutant ackbug   # mutant-detection check: expect exit 1
@@ -24,8 +26,10 @@
 //	prdmabench -parscale -simpar 4 -logclients 1000000 -json BENCH_PR7.json
 //
 // -simpar selects the worker count for partitioned (multi-kernel) drivers.
-// The legacy figure, crashcheck and matrix drivers need a global event
-// order (crash injection, failover) and always run the serial kernel; they
+// With -crashcheck -cluster, -simpar N (N>0) switches the sweep to the
+// partitioned deployment: crashes land at lookahead-window barriers, whose
+// indices are worker-count-stable, so the minimal repro replays at -simpar 1.
+// The legacy single-host figure drivers still run the serial kernel and
 // accept -simpar as a no-op so harnesses can pass it uniformly.
 //
 // Experiment cells are independent deployments, so drivers fan them across
@@ -66,13 +70,13 @@ func main() {
 	clusterRun := flag.Bool("cluster", false, "run the sharded replicated-KV failover figure (or, with -crashcheck, the cluster crash-point sweep)")
 	shards := flag.Int("shards", 4, "cluster: number of shard groups")
 	replicas := flag.Int("replicas", 3, "cluster: replication factor per shard")
-	simpar := flag.Int("simpar", 0, "parallel simulation workers for partitioned drivers (0 = serial legacy kernel; the figure/crashcheck/matrix drivers need global event order and always run serial, accepting this flag as a no-op)")
+	simpar := flag.Int("simpar", 0, "parallel simulation workers for partitioned drivers (0 = serial legacy kernel; with -crashcheck -cluster, N>0 runs the window-barrier partitioned crash sweep)")
 	parscale := flag.Bool("parscale", false, "run the parallel-kernel scaling ladder (workers 1/2/4/8 over the 8-shard partitioned cluster) plus the open-loop population smoke; write BENCH_PR7-style JSON with -json")
 	logclients := flag.Int("logclients", 1_000_000, "parscale: logical client population for the open-loop smoke")
 	matrixRun := flag.Bool("matrix", false, "run the adversarial fault x YCSB workload matrix (cluster crash-point sweep per cell)")
 	faults := flag.String("faults", "", "matrix: comma-separated adversary names (default: every builtin; see -matrix -faults help)")
 	workloads := flag.String("workloads", "", "matrix: YCSB workload letters, e.g. ABF (default: A-F)")
-	mutant := flag.String("mutant", "", "matrix: seed a known bug class (ackbug|resurrect); the matrix must then fail (exit 1)")
+	mutant := flag.String("mutant", "", "matrix / partitioned crashcheck: seed a known bug class (ackbug|resurrect); the sweep must then fail (exit 1)")
 	flag.Parse()
 	flagSet := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
@@ -123,7 +127,11 @@ func main() {
 		if pointsSet {
 			pts = *points
 		}
-		clusterCrashcheckMain(int64(*seed), pts, *shards, *replicas, *objsize)
+		if *simpar > 0 {
+			partitionedCrashcheckMain(int64(*seed), pts, *shards, *replicas, *objsize, *simpar, *mutant)
+		} else {
+			clusterCrashcheckMain(int64(*seed), pts, *shards, *replicas, *objsize)
+		}
 		if *memprofile != "" {
 			if err := writeHeapProfile(*memprofile); err != nil {
 				fmt.Fprintln(os.Stderr, err)

@@ -101,6 +101,7 @@ func (o Options) clusterFigRun(shards, replicas int) *clusterFig {
 	k.Run()
 	f.resyncDoneAt = f.ct.LastEvent("resync-done")
 	f.consistency = c.CheckConsistency()
+	k.Shutdown() // tables below read counters and samples only; reap the parked procs
 	AddSimOps(int64(f.ops))
 	return f
 }
@@ -233,6 +234,7 @@ func (f *clusterFig) controlTable() Table {
 		{"resync wall (us)", fmtUS(resyncWall)},
 		{"log entries replayed", fmt.Sprintf("%d", replayed)},
 		{"images shipped", fmt.Sprintf("%d", shipped)},
+		{"pm-full backpressure stalls", fmt.Sprintf("%d", f.c.PMFull())},
 		{"op errors", fmt.Sprintf("%d", f.res.Errors)},
 		{"bad reads", fmt.Sprintf("%d", f.res.BadReads)},
 		{"acked writes lost", lost},

@@ -74,12 +74,18 @@ func (o Options) ParallelScale(workerCounts []int) (*ScaleResult, error) {
 		lr, err := c.RunLoad(load)
 		wall := time.Since(start)
 		if err != nil {
+			c.Eng.Shutdown()
 			return nil, err
 		}
 		if lr.Errors != 0 || lr.BadReads != 0 {
+			c.Eng.Shutdown()
 			return nil, fmt.Errorf("bench: scale workers=%d: errors=%d badReads=%d", w, lr.Errors, lr.BadReads)
 		}
-		if cerr := c.CheckConsistency(); cerr != nil {
+		cerr := c.CheckConsistency()
+		// Reap the rung's deployment before the next one: each parked-proc
+		// set otherwise survives the ladder (~100 MB per deployment).
+		c.Eng.Shutdown()
+		if cerr != nil {
 			return nil, fmt.Errorf("bench: scale workers=%d: %w", w, cerr)
 		}
 		pt := ScalePoint{
@@ -171,8 +177,13 @@ func (o Options) MillionClientSmoke(workers, logicalClients int) (*SmokeResult, 
 	lr, err := c.RunLoad(load)
 	wall := time.Since(start)
 	if err != nil {
+		c.Eng.Shutdown()
 		return nil, err
 	}
+	cerr := c.CheckConsistency()
+	// Reap the deployment first: the heap figure must report what a finished
+	// deployment retains, which is nothing once its parked procs are gone.
+	c.Eng.Shutdown()
 	var ms runtime.MemStats
 	runtime.GC() // report retained heap, not accumulated garbage
 	runtime.ReadMemStats(&ms)
@@ -193,7 +204,7 @@ func (o Options) MillionClientSmoke(workers, logicalClients int) (*SmokeResult, 
 	res.OK = res.Completed == load.Ops && res.Errors == 0 &&
 		res.QueueHWM > 0 && res.QueueHWM <= load.Ops &&
 		res.DistinctClients > 0
-	if cerr := c.CheckConsistency(); cerr != nil {
+	if cerr != nil {
 		return res, fmt.Errorf("bench: smoke consistency: %w", cerr)
 	}
 	return res, nil

@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 // TestParallelScaleDeterminism runs a reduced worker ladder and checks the
 // driver's own verdict plus the per-rung invariants: same events, same
@@ -49,5 +52,44 @@ func TestMillionClientSmokeReduced(t *testing.T) {
 	}
 	if b.Fingerprint != a.Fingerprint {
 		t.Fatalf("smoke fingerprint diverged across workers: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+}
+
+// TestDeploymentShutdownReleasesHeap pins the parked-proc leak fix:
+// back-to-back deployments previously each pinned ~100 MB (every proc
+// goroutine parked at its resume channel, plus the event free lists), so a
+// ladder of runs grew the heap linearly. With Engine.Shutdown reaping each
+// finished deployment, retained heap must stay flat across repeats.
+func TestDeploymentShutdownReleasesHeap(t *testing.T) {
+	heap := func() uint64 {
+		runtime.GC()
+		runtime.GC() // second pass collects what the first pass's finalizers freed
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	o := tiny()
+	o.Ops = 200
+	// Warm-up establishes the steady-state baseline (pools, lazily built
+	// tables) so the delta below measures per-deployment retention only.
+	if _, err := o.MillionClientSmoke(2, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	before := heap()
+	const repeats = 4
+	for i := 0; i < repeats; i++ {
+		if _, err := o.MillionClientSmoke(2, 10_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := heap()
+	growth := int64(after) - int64(before)
+	t.Logf("heap before=%.1f MB after=%.1f MB growth=%.1f MB over %d deployments",
+		float64(before)/(1<<20), float64(after)/(1<<20), float64(growth)/(1<<20), repeats)
+	// A single leaked deployment at this size pins tens of MB; four pin well
+	// over the bound. Flat-with-noise passes, linear growth fails.
+	if growth > 16<<20 {
+		t.Fatalf("retained heap grew %.1f MB over %d shut-down deployments — parked procs leaking again",
+			float64(growth)/(1<<20), repeats)
 	}
 }

@@ -355,6 +355,20 @@ func (c *Cluster) StaleDrops() int64 {
 	return total
 }
 
+// PMFull totals the replicas' PM-exhaustion backpressure drops — writes the
+// stores could not home because their arena ran out. Surfaced as a stat so a
+// sizing mistake reads as backpressure in the figures, not a panic that
+// aborts the run.
+func (c *Cluster) PMFull() int64 {
+	var total int64
+	for _, sh := range c.Shards {
+		for _, rep := range sh.Replicas {
+			total += rep.Store.PMFull
+		}
+	}
+	return total
+}
+
 // EnableAckAudit starts recording, per shard and replica, the highest
 // payload version each replica durably acknowledges per store slot (the
 // loadgen payload layout: a little-endian uint32 version at byte 8). The

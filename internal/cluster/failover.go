@@ -261,13 +261,19 @@ func (ct *Controller) resync(p *sim.Proc, sh *Shard, r int) {
 }
 
 // reestablish rebuilds one client's connection to replica r, replaying its
-// durable redo-log backlog server-side.
+// durable redo-log backlog server-side. A cross-partition refusal (engine
+// mode outside a serialized span) replays nothing; the partitioned
+// controller serializes before resyncing, so it never trips this.
 func (ct *Controller) reestablish(p *sim.Proc, cl *replicate.Client, r int) int {
 	rec, ok := cl.Replica(r).(rpc.Recoverable)
 	if !ok {
 		return 0
 	}
-	return rec.Reestablish(p)
+	n, err := rec.Reestablish(p)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // shipWindow is the ship pipeline depth: enough outstanding writes on the

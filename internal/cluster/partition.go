@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -23,21 +24,59 @@ import (
 //
 // Partition layout: gateway g is engine kernel g, shard group s (all of its
 // replicas) is kernel Gateways+s. Every client↔replica connection crosses a
-// partition boundary and therefore runs the rpc layer's engine mode
-// (WFlush-RPC only). Two deliberate scope cuts versus New:
+// partition boundary and therefore runs the rpc layer's engine mode; all
+// four durable RPC families are supported — the per-family redo-log
+// ownership split lives in rpc.NewDurable. Bookkeeping is per gateway:
+// acknowledged-write records, counters and samples are owned by their
+// gateway's kernel and merged canonically after the engine drains, so no
+// shared mutable state crosses kernels on the data plane.
 //
-//   - no failover controller: crash/recovery needs global-order surgery
-//     (log recovery walks server PM from client procs); the partitioned
-//     topology runs crash-free and the failover suites pin one kernel;
-//   - per-gateway bookkeeping: acknowledged-write records, counters and
-//     samples are owned by their gateway's kernel and merged canonically
-//     after the engine drains, so no shared mutable state crosses kernels.
+// Crash/recovery is supported with one topology restriction: the failover
+// controller (StartController, pfailover.go) requires Gateways == 1, so
+// every client-side structure it touches lives on a single kernel. Crash
+// injection is driver-driven at window barriers — CrashReplica and
+// RestartReplica run only from driver context inside a serialized engine
+// span (sim.Engine.Serialize), where a global event order exists. The
+// crash-free data plane keeps its parallel window execution, and a
+// Gateways>1 deployment is byte-identical to what it was before failover
+// support existed (the controller connection is only built for Gateways==1).
 
 // PGroup is one shard group's partition: a kernel hosting all its replicas.
+//
+// The controller fields below the kernel handle are populated only in a
+// Gateways==1 deployment (NewPartitioned builds the ctl connection then).
+// Despite living next to the server-side replicas, they are client-side
+// state: every one of them is owned by the gateway kernel's procs — or by
+// the driver at a window barrier — and is never touched by the group's own
+// kernel.
 type PGroup struct {
 	ID       int
 	K        *sim.Kernel
 	Replicas []*Replica
+
+	// ctl is the controller's dedicated replicated connection (never
+	// pooled); nil unless Gateways == 1.
+	ctl *replicate.Client
+
+	// pendingSince/resyncing/resyncBusy/quiesce mirror Shard's failover
+	// bookkeeping (see Shard); Primary is the current primary replica.
+	pendingSince []sim.Time
+	resyncing    []bool
+	resyncBusy   bool
+	quiesce      bool
+	Primary      int
+
+	// ackAudit mirrors Shard.ackAudit: per replica, the highest payload
+	// version durably acknowledged per store slot (EnableAckAudit).
+	ackAudit []map[uint64]uint32
+
+	// keys is the sorted-key scratch for deterministic ship iteration.
+	keys []uint64
+
+	// Controller counters (same meaning as on Shard).
+	Failovers, Promotions, Resyncs,
+	Shipped, Replayed, Retries int64
+	DetectLag, ResyncTime time.Duration
 }
 
 // PGateway is one client-side partition: a gateway host plus its per-shard
@@ -47,8 +86,9 @@ type PGateway struct {
 	K    *sim.Kernel
 	Host *host.Host
 
-	pools []*sim.Chan[*replicate.Client] // per shard
-	wrote []map[uint64]*wroteRec         // per shard: writes acked via this gateway
+	pools   []*sim.Chan[*replicate.Client] // per shard
+	clients [][]*replicate.Client          // per shard: the pooled clients, for membership marks
+	wrote   []map[uint64]*wroteRec         // per shard: writes acked via this gateway
 
 	Puts, Gets int64
 }
@@ -75,8 +115,8 @@ func NewPartitioned(workers int, p Params) (*PCluster, error) {
 	if p.Gateways <= 0 {
 		return nil, errors.New("cluster: partitioned deployment needs Gateways > 0")
 	}
-	if p.Kind != rpc.WFlushRPC {
-		return nil, fmt.Errorf("cluster: partitioned deployment supports WFlushRPC only (engine mode), not %v", p.Kind)
+	if !p.Kind.Durable() {
+		return nil, fmt.Errorf("cluster: partitioned deployment needs a durable RPC family (engine mode), not %v", p.Kind)
 	}
 	c := &PCluster{
 		Eng:  sim.NewEngine(p.Net.Lookahead(), workers),
@@ -98,7 +138,11 @@ func NewPartitioned(workers int, p Params) (*PCluster, error) {
 			if err != nil {
 				return nil, err
 			}
-			store.VersionAt = 8
+			if !p.MutantResurrect {
+				// Same stale-write guard as the serial cluster (see New);
+				// the resurrect mutant disables it to seed the bug class.
+				store.VersionAt = 8
+			}
 			engine := rpc.NewServer(h, store, p.Cfg)
 			grp.Replicas = append(grp.Replicas, &Replica{Host: h, Store: store, Engine: engine, alive: true})
 		}
@@ -106,6 +150,7 @@ func NewPartitioned(workers int, p Params) (*PCluster, error) {
 	}
 	for _, gw := range c.Gateways {
 		gw.pools = make([]*sim.Chan[*replicate.Client], p.Shards)
+		gw.clients = make([][]*replicate.Client, p.Shards)
 		gw.wrote = make([]map[uint64]*wroteRec, p.Shards)
 		for s, grp := range c.Groups {
 			gw.pools[s] = sim.NewChan[*replicate.Client](gw.K)
@@ -119,11 +164,167 @@ func NewPartitioned(workers int, p Params) (*PCluster, error) {
 				if err != nil {
 					return nil, err
 				}
+				gw.clients[s] = append(gw.clients[s], rc)
 				gw.pools[s].Push(rc)
 			}
 		}
 	}
+	if p.Gateways == 1 {
+		// Failover support: one dedicated controller connection per shard,
+		// plus the membership bookkeeping the controller needs. Built only
+		// for the single-gateway topology so multi-gateway deployments keep
+		// their pre-failover event stream byte for byte.
+		gw := c.Gateways[0]
+		for _, grp := range c.Groups {
+			var raw []rpc.Client
+			for _, rep := range grp.Replicas {
+				raw = append(raw, rpc.New(p.Kind, gw.Host, rep.Engine, p.Cfg))
+			}
+			rc, err := replicate.New(gw.K, p.Policy, raw)
+			if err != nil {
+				return nil, err
+			}
+			grp.ctl = rc
+			grp.pendingSince = make([]sim.Time, p.Replicas)
+			grp.resyncing = make([]bool, p.Replicas)
+		}
+	}
 	return c, nil
+}
+
+// Now returns the latest kernel clock in the deployment — the driver's time
+// reference at a window barrier (kernels may sit at slightly different
+// clocks there; the maximum is monotone across barriers).
+func (c *PCluster) Now() sim.Time {
+	var t sim.Time
+	for _, k := range c.Eng.Kernels() {
+		if now := k.Now(); now > t {
+			t = now
+		}
+	}
+	return t
+}
+
+// CrashReplica fails replica r of shard s: the host loses volatile state (PM
+// survives), the engine drops its queue, the store forgets its version
+// watermarks. Driver context only, at a window barrier, inside a serialized
+// engine span — the crash mutates server-kernel state and flips liveness the
+// gateway-side controller polls, which is only sound where a global event
+// order exists. The caller owns the restart (RestartReplica at a later
+// barrier) and must hold the Serialize token until the cluster is Healthy.
+func (c *PCluster) CrashReplica(s, r int) {
+	if !c.Eng.Serialized() {
+		panic("cluster: CrashReplica outside a serialized engine span")
+	}
+	rep := c.Groups[s].Replicas[r]
+	if !rep.alive {
+		return
+	}
+	rep.alive = false
+	rep.crashedAt = c.Groups[s].K.Now()
+	rep.Host.Crash()
+	rep.Engine.Crash()
+	rep.Store.Crash()
+}
+
+// RestartReplica brings a crashed replica back. Driver context only, at a
+// window barrier at least P.Restart past the crash (the caller models the
+// restart latency by choosing the barrier).
+func (c *PCluster) RestartReplica(s, r int) {
+	rep := c.Groups[s].Replicas[r]
+	if rep.alive {
+		return
+	}
+	rep.Host.Restart()
+	rep.alive = true
+	rep.Restarts++
+}
+
+// Healthy reports whether every replica is up and — when a controller is
+// installed — readmitted (no down marks, no resync in flight).
+func (c *PCluster) Healthy() bool {
+	for _, grp := range c.Groups {
+		for r, rep := range grp.Replicas {
+			if !rep.alive {
+				return false
+			}
+			if grp.ctl != nil && (grp.ctl.Down(r) || grp.resyncing[r]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EnableAckAudit mirrors Cluster.EnableAckAudit for the partitioned
+// deployment: per shard and replica, record the highest payload version each
+// replica durably acknowledges per store slot. Gateways == 1 only — the
+// audit maps hang off the shard groups but are written by gateway-kernel
+// callbacks, which is single-writer only with a single gateway.
+func (c *PCluster) EnableAckAudit() {
+	if c.P.Gateways != 1 {
+		panic("cluster: EnableAckAudit on a partitioned deployment needs Gateways == 1")
+	}
+	gw := c.Gateways[0]
+	for s, grp := range c.Groups {
+		grp := grp
+		grp.ackAudit = make([]map[uint64]uint32, c.P.Replicas)
+		for r := range grp.ackAudit {
+			grp.ackAudit[r] = make(map[uint64]uint32)
+		}
+		tag := func(req *rpc.Request) uint64 {
+			if len(req.Payload) < 12 {
+				return req.Key << 32
+			}
+			return req.Key<<32 | uint64(binary.LittleEndian.Uint32(req.Payload[8:]))
+		}
+		onDurable := func(replica int, t uint64, at sim.Time) {
+			slot, ver := t>>32, uint32(t)
+			if ver == 0 {
+				return // unversioned payload: nothing to audit
+			}
+			if ver > grp.ackAudit[replica][slot] {
+				grp.ackAudit[replica][slot] = ver
+			}
+		}
+		for _, cl := range gw.clients[s] {
+			cl.WriteTag, cl.OnDurable = tag, onDurable
+		}
+	}
+}
+
+// AckedVersions returns replica r's durably-acknowledged version record
+// (nil unless EnableAckAudit ran).
+func (grp *PGroup) AckedVersions(r int) map[uint64]uint32 {
+	if grp.ackAudit == nil {
+		return nil
+	}
+	return grp.ackAudit[r]
+}
+
+// PMFull totals the replicas' PM-exhaustion backpressure drops — writes that
+// could not be homed because the arena ran out. Surfaced as a stat so a
+// sizing mistake reads as backpressure, not a panic.
+func (c *PCluster) PMFull() int64 {
+	var n int64
+	for _, grp := range c.Groups {
+		for _, rep := range grp.Replicas {
+			n += rep.Store.PMFull
+		}
+	}
+	return n
+}
+
+// sortedWroteKeys fills grp.keys with gateway 0's recorded key set for this
+// shard in ascending order (controller ship iteration; Gateways == 1).
+func (c *PCluster) sortedWroteKeys(grp *PGroup) []uint64 {
+	wrote := c.Gateways[0].wrote[grp.ID]
+	grp.keys = grp.keys[:0]
+	for k := range wrote {
+		grp.keys = append(grp.keys, k)
+	}
+	sort.Slice(grp.keys, func(i, j int) bool { return grp.keys[i] < grp.keys[j] })
+	return grp.keys
 }
 
 func (gw *PGateway) record(shard int, key uint64, ver uint32, payload []byte, at sim.Time) {
@@ -137,37 +338,86 @@ func (gw *PGateway) record(shard int, key uint64, ver uint32, payload []byte, at
 	rec.at = at
 }
 
+// acquire checks out a pooled client for shard s via gateway g, yielding to
+// a controller's readmission barrier first (see Shard.acquire). Without a
+// controller quiesce is never set and this is a plain pool pop.
+func (c *PCluster) acquire(p *sim.Proc, g, s int) *replicate.Client {
+	for c.Groups[s].quiesce {
+		p.Sleep(20 * time.Microsecond)
+	}
+	return c.Gateways[g].pools[s].Pop(p)
+}
+
 // PutOn routes one durable replicated write through gateway g. p must be a
-// proc on that gateway's kernel. The crash-free topology needs no retry
-// loop: an error here is a bug, not a failover window.
+// proc on that gateway's kernel. Without a failover controller the crash-free
+// topology needs no retry loop — an error is a bug, not a failover window —
+// and the path stays exactly the pre-failover event stream. With a
+// controller installed (Gateways == 1), writes retry across failover windows
+// the way the serial cluster's Put does.
 func (c *PCluster) PutOn(p *sim.Proc, g int, key uint64, ver uint32, payload []byte) error {
 	gw := c.Gateways[g]
 	s := c.Ring.Shard(key)
+	grp := c.Groups[s]
 	req := rpc.Request{Op: rpc.OpWrite, Key: keyIndex(key, c.P.Objects), Size: len(payload), Payload: payload}
-	cl := gw.pools[s].Pop(p)
-	at, _, err := cl.Write(p, &req)
-	gw.pools[s].Push(cl)
-	if err != nil {
-		return fmt.Errorf("cluster: put key %d via gw %d: %w", key, g, err)
+	if grp.ctl == nil {
+		cl := gw.pools[s].Pop(p)
+		at, _, err := cl.Write(p, &req)
+		gw.pools[s].Push(cl)
+		if err != nil {
+			return fmt.Errorf("cluster: put key %d via gw %d: %w", key, g, err)
+		}
+		gw.Puts++
+		gw.record(s, key, ver, payload, at)
+		return nil
 	}
-	gw.Puts++
-	gw.record(s, key, ver, payload, at)
-	return nil
+	for attempt := 0; ; attempt++ {
+		cl := c.acquire(p, g, s)
+		at, _, err := cl.WriteTimeout(p, &req, c.P.Retry*8)
+		gw.pools[s].Push(cl)
+		if err == nil {
+			gw.Puts++
+			gw.record(s, key, ver, payload, at)
+			return nil
+		}
+		if attempt >= putAttempts(c.P) {
+			return fmt.Errorf("cluster: put key %d via gw %d failed after %d attempts: %w", key, g, attempt+1, err)
+		}
+		grp.Retries++
+		p.Sleep(c.P.Retry)
+	}
 }
 
-// GetOn routes one read through gateway g (p on that gateway's kernel).
+// GetOn routes one read through gateway g (p on that gateway's kernel),
+// retrying across failover windows when a controller is installed.
 func (c *PCluster) GetOn(p *sim.Proc, g int, key uint64, size int) ([]byte, error) {
 	gw := c.Gateways[g]
 	s := c.Ring.Shard(key)
+	grp := c.Groups[s]
 	req := rpc.Request{Op: rpc.OpRead, Key: keyIndex(key, c.P.Objects), Size: size, Payload: empty}
-	cl := gw.pools[s].Pop(p)
-	resp, err := cl.Read(p, &req)
-	gw.pools[s].Push(cl)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: get key %d via gw %d: %w", key, g, err)
+	if grp.ctl == nil {
+		cl := gw.pools[s].Pop(p)
+		resp, err := cl.Read(p, &req)
+		gw.pools[s].Push(cl)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: get key %d via gw %d: %w", key, g, err)
+		}
+		gw.Gets++
+		return resp.Data, nil
 	}
-	gw.Gets++
-	return resp.Data, nil
+	for attempt := 0; ; attempt++ {
+		cl := c.acquire(p, g, s)
+		resp, err := cl.ReadTimeout(p, &req, c.P.Retry*8)
+		gw.pools[s].Push(cl)
+		if err == nil {
+			gw.Gets++
+			return resp.Data, nil
+		}
+		if attempt >= putAttempts(c.P) {
+			return nil, fmt.Errorf("cluster: get key %d via gw %d failed after %d attempts: %w", key, g, attempt+1, err)
+		}
+		grp.Retries++
+		p.Sleep(c.P.Retry)
+	}
 }
 
 // Puts and Gets total the per-gateway counters.
@@ -224,6 +474,9 @@ func (c *PCluster) CheckConsistency() error {
 		for _, slot := range slots {
 			want := lastPerSlot[slot].rec.buf
 			for r, rep := range grp.Replicas {
+				if !rep.alive {
+					continue
+				}
 				if !rep.Store.Has(slot) {
 					return fmt.Errorf("shard %d replica %d: acked slot %d missing", s, r, slot)
 				}
@@ -303,6 +556,67 @@ func ownerGateway(key uint64, clients, gateways int) int {
 	return int(key%uint64(clients)) % gateways
 }
 
+// pgwRun is one gateway's share of an in-flight load: samples, counters and
+// verification state, all owned by that gateway's kernel until the engine
+// drains.
+type pgwRun struct {
+	samples   []Sample
+	writes    int
+	reads     int
+	badReads  int
+	errors    int
+	queueHWM  int
+	clientSet map[int]struct{}
+	issuedVer map[uint64]uint32
+	end       sim.Time
+	done      bool
+}
+
+// PLoadRun is an in-flight partitioned load started by StartLoad: the client
+// procs are spawned but the caller owns the engine stepping (Run, or
+// RunWindows from a crash-injection driver). Done and Collect may only be
+// called at a window barrier.
+type PLoadRun struct {
+	c    *PCluster
+	runs []*pgwRun
+}
+
+// Done reports whether every gateway's workload has completed.
+func (r *PLoadRun) Done() bool {
+	for _, run := range r.runs {
+		if !run.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Collect merges the per-gateway results canonically (by completion time,
+// then source gateway). Call after the engine drained — or at a barrier past
+// Done when auxiliary procs (a failover controller) keep the engine busy.
+func (r *PLoadRun) Collect() *PLoadResult {
+	res := &PLoadResult{}
+	for _, run := range r.runs {
+		res.Samples = append(res.Samples, run.samples...)
+		res.Writes += run.writes
+		res.Reads += run.reads
+		res.BadReads += run.badReads
+		res.Errors += run.errors
+		res.DistinctClients += len(run.clientSet)
+		if run.queueHWM > res.QueueHWM {
+			res.QueueHWM = run.queueHWM
+		}
+		if run.end > res.End {
+			res.End = run.end
+		}
+	}
+	// Canonical merge: completion time, then source gateway, then that
+	// gateway's completion order — the concatenation above is already in
+	// (gateway, local) order, so a stable sort on time is exactly that.
+	sort.SliceStable(res.Samples, func(i, j int) bool { return res.Samples[i].At < res.Samples[j].At })
+	return res
+}
+
 // RunLoad drives the partitioned workload: it spawns per-gateway client
 // procs, runs the engine to completion, and merges the per-gateway results
 // canonically (by completion time, then gateway). Closed loop and the plain
@@ -316,6 +630,18 @@ func ownerGateway(key uint64, clients, gateways int) int {
 // and key choice is offset per client so the footprint spreads the way a
 // real population's would.
 func (c *PCluster) RunLoad(l Load) (*PLoadResult, error) {
+	run, err := c.StartLoad(l)
+	if err != nil {
+		return nil, err
+	}
+	c.Eng.Run()
+	return run.Collect(), nil
+}
+
+// StartLoad validates l and spawns the per-gateway client procs without
+// stepping the engine — the crash-injection drivers step windows themselves
+// (see RunLoad for the one-shot form and the workload semantics).
+func (c *PCluster) StartLoad(l Load) (*PLoadRun, error) {
 	if l.Clients <= 0 || l.Ops <= 0 {
 		return nil, fmt.Errorf("cluster: load needs Clients>0, Ops>0")
 	}
@@ -338,23 +664,12 @@ func (c *PCluster) RunLoad(l Load) (*PLoadResult, error) {
 		l.Theta = 0.99
 	}
 
-	type gwRun struct {
-		samples   []Sample
-		writes    int
-		reads     int
-		badReads  int
-		errors    int
-		queueHWM  int
-		clientSet map[int]struct{}
-		issuedVer map[uint64]uint32
-		end       sim.Time
-	}
-	runs := make([]*gwRun, G)
+	runs := make([]*pgwRun, G)
 
 	for g := 0; g < G; g++ {
 		g := g
 		gw := c.Gateways[g]
-		run := &gwRun{issuedVer: make(map[uint64]uint32), clientSet: make(map[int]struct{})}
+		run := &pgwRun{issuedVer: make(map[uint64]uint32), clientSet: make(map[int]struct{})}
 		runs[g] = run
 		nextVer := make(map[uint64]uint32)
 
@@ -498,29 +813,9 @@ func (c *PCluster) RunLoad(l Load) (*PLoadResult, error) {
 		gw.K.Go(fmt.Sprintf("gw%d-join", g), func(p *sim.Proc) {
 			wg.Wait(p)
 			run.end = p.Now()
+			run.done = true
 		})
 	}
 
-	c.Eng.Run()
-
-	res := &PLoadResult{}
-	for _, run := range runs {
-		res.Samples = append(res.Samples, run.samples...)
-		res.Writes += run.writes
-		res.Reads += run.reads
-		res.BadReads += run.badReads
-		res.Errors += run.errors
-		res.DistinctClients += len(run.clientSet)
-		if run.queueHWM > res.QueueHWM {
-			res.QueueHWM = run.queueHWM
-		}
-		if run.end > res.End {
-			res.End = run.end
-		}
-	}
-	// Canonical merge: completion time, then source gateway, then that
-	// gateway's completion order — the concatenation above is already in
-	// (gateway, local) order, so a stable sort on time is exactly that.
-	sort.SliceStable(res.Samples, func(i, j int) bool { return res.Samples[i].At < res.Samples[j].At })
-	return res, nil
+	return &PLoadRun{c: c, runs: runs}, nil
 }

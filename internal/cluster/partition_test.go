@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"testing"
+	"time"
 
 	"prdma/internal/rpc"
 )
@@ -91,14 +92,123 @@ func TestPartitionedOpenLoopPopulation(t *testing.T) {
 	}
 }
 
-// TestPartitionedRejectsNonWFlush pins the guard: partitioned deployments
-// exist for WFlush-RPC only.
-func TestPartitionedRejectsNonWFlush(t *testing.T) {
-	p := partParams()
-	p.Kind = rpc.SFlushRPC
-	if _, err := NewPartitioned(1, p); err == nil {
-		t.Fatal("SFlushRPC partitioned deployment did not error")
+// TestPartitionedAllDurableFamilies pins engine-mode parity at the cluster
+// layer: every durable RPC family deploys partitioned, finishes the verified
+// workload consistently, and stays worker-count deterministic. Non-durable
+// families are still rejected — there is no persistence contract to check.
+func TestPartitionedAllDurableFamilies(t *testing.T) {
+	l := Load{Clients: 4, Ops: 120, ReadFrac: 0.3, Verify: true, Seed: 11}
+	for _, kind := range []rpc.Kind{rpc.WFlushRPC, rpc.SFlushRPC, rpc.WRFlushRPC, rpc.SRFlushRPC} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := partParams()
+			p.Kind = kind
+			run := func(workers int) (*PLoadResult, error) {
+				c, err := NewPartitioned(workers, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := c.RunLoad(l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, c.CheckConsistency()
+			}
+			base, cerr := run(1)
+			if cerr != nil {
+				t.Fatalf("workers=1: consistency: %v", cerr)
+			}
+			if base.Errors != 0 || base.BadReads != 0 {
+				t.Fatalf("workers=1: errors=%d badReads=%d", base.Errors, base.BadReads)
+			}
+			res, cerr := run(4)
+			if cerr != nil {
+				t.Fatalf("workers=4: consistency: %v", cerr)
+			}
+			if res.Fingerprint() != base.Fingerprint() {
+				t.Fatalf("workers=4: fingerprint %x != workers=1 %x", res.Fingerprint(), base.Fingerprint())
+			}
+		})
 	}
+	p := partParams()
+	p.Kind = rpc.FaRM
+	if _, err := NewPartitioned(1, p); err == nil {
+		t.Fatal("non-durable partitioned deployment did not error")
+	}
+}
+
+// TestPartitionedFailoverRecovery crashes a replica at a window barrier under
+// a controller-managed single-gateway deployment and drives it through
+// detect, promote, resync, and readmission — asserting no acknowledged write
+// is lost and the cluster returns to full health.
+func TestPartitionedFailoverRecovery(t *testing.T) {
+	p := partParams()
+	p.Gateways = 1
+	p.Replicas = 3
+	c, err := NewPartitioned(2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableAckAudit()
+	ct, err := c.StartController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	load, err := c.StartLoad(Load{Clients: 4, Ops: 200, ReadFrac: 0.3, Verify: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.RunWindows(40)
+	c.Eng.Serialize()
+	c.CrashReplica(0, 0)
+	crashAt := c.Now()
+	restarted := false
+	horizon := crashAt.Add(100 * time.Millisecond)
+	for !(load.Done() && c.Healthy()) && c.Now() < horizon {
+		if !restarted && c.Now() >= crashAt.Add(c.P.Restart) {
+			c.RestartReplica(0, 0)
+			restarted = true
+		}
+		if c.Eng.RunWindows(16) == 0 {
+			break
+		}
+	}
+	ct.Stop()
+	for c.Now() < horizon && c.Eng.RunWindows(256) != 0 {
+	}
+	c.Eng.Unserialize()
+	res := load.Collect()
+	if !load.Done() {
+		t.Fatal("load never finished")
+	}
+	if !c.Healthy() {
+		t.Fatal("cluster not healthy after recovery")
+	}
+	if res.Errors != 0 || res.BadReads != 0 {
+		t.Fatalf("errors=%d badReads=%d", res.Errors, res.BadReads)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatalf("consistency: %v", err)
+	}
+	grp := c.Groups[0]
+	if grp.Failovers == 0 {
+		t.Fatal("crash never detected")
+	}
+	if grp.Resyncs == 0 {
+		t.Fatal("victim never readmitted")
+	}
+	var promoted, resyncDone bool
+	for _, ev := range ct.Events {
+		switch ev.Kind {
+		case "promote":
+			promoted = true
+		case "resync-done":
+			resyncDone = true
+		}
+	}
+	if !promoted || !resyncDone {
+		t.Fatalf("controller events missing promote/resync-done: %v", ct.Events)
+	}
+	c.Eng.Shutdown()
 }
 
 // TestPartitionedMatchesSerialSemantics sanity-checks the data plane against

@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"errors"
+	"time"
+
+	"prdma/internal/replicate"
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+)
+
+// PController is the partitioned deployment's membership/failover
+// controller: the same detect/promote/resync choreography as the serial
+// Controller, running as a proc on the (single) gateway kernel.
+//
+// Topology restriction: Gateways == 1. Every client-side structure the
+// controller touches — the connection pool, the acknowledged-write record,
+// the membership marks — must live on one kernel, or the resync choreography
+// would share mutable state across partitions.
+//
+// Serialization contract: crashes are injected by the driver at window
+// barriers inside a serialized engine span (PCluster.CrashReplica), and the
+// driver holds the Serialize token until the cluster reports Healthy. Every
+// controller action that reaches across partitions outside the lookahead
+// discipline — re-establishing connections (server-side log recovery driven
+// from a gateway proc), polling a victim's engine queue depth, the
+// readmission barrier — therefore executes inside serialized windows, where
+// the engine provides the same global event order the serial kernel would.
+// The crash-free detector poll only reads replica liveness, which changes
+// exclusively at barriers, so parallel windows never observe a torn update.
+type PController struct {
+	C       *PCluster
+	Events  []Event
+	stopped bool
+
+	// AuditReplay, when set, runs during resync after the rejoining
+	// replica's redo-log backlogs have replayed and applied but before any
+	// catch-up image ships — see Controller.AuditReplay.
+	AuditReplay func(p *sim.Proc, grp *PGroup, r int)
+}
+
+// StartController begins failure detection on a dedicated gateway proc.
+// The deployment must have been built with Gateways == 1 (NewPartitioned
+// only creates the controller connections then).
+func (c *PCluster) StartController() (*PController, error) {
+	if c.P.Gateways != 1 || c.Groups[0].ctl == nil {
+		return nil, errors.New("cluster: partitioned failover controller needs Gateways == 1")
+	}
+	ct := &PController{C: c}
+	c.Gateways[0].K.Go("pfailover-ctl", ct.loop)
+	return ct, nil
+}
+
+// Stop ends detection after the current poll; outstanding resyncs finish.
+func (ct *PController) Stop() { ct.stopped = true }
+
+func (ct *PController) event(at sim.Time, kind string, s, r int) {
+	ct.Events = append(ct.Events, Event{At: at, Kind: kind, Shard: s, Replica: r})
+}
+
+func (ct *PController) loop(p *sim.Proc) {
+	for !ct.stopped {
+		for _, grp := range ct.C.Groups {
+			for r, rep := range grp.Replicas {
+				switch {
+				case !rep.alive && !grp.ctl.Down(r):
+					ct.detect(p, grp, r)
+				case rep.alive && grp.ctl.Down(r) && !grp.resyncing[r]:
+					grp.resyncing[r] = true
+					g, rr := grp, r
+					p.K.Go("presync", func(rp *sim.Proc) { ct.resync(rp, g, rr) })
+				}
+			}
+		}
+		p.Sleep(ct.C.P.CheckEvery)
+	}
+}
+
+// detect marks the replica down across every client and promotes a new
+// primary if the victim held the role (see Controller.detect).
+func (ct *PController) detect(p *sim.Proc, grp *PGroup, r int) {
+	now := p.Now()
+	if grp.pendingSince[r] == 0 {
+		grp.pendingSince[r] = now
+	}
+	grp.ctl.MarkDown(r)
+	for _, cl := range ct.C.Gateways[0].clients[grp.ID] {
+		cl.MarkDown(r)
+	}
+	grp.Failovers++
+	grp.DetectLag += now.Sub(grp.Replicas[r].crashedAt)
+	ct.event(now, "detect", grp.ID, r)
+	if grp.Primary == r {
+		ct.promote(p.K, grp, r)
+	}
+}
+
+// promote elects the next live, in-sync replica as the group primary and
+// records the promotion once its engine queue has drained (cross-partition
+// read: runs only inside the serialized crash span).
+func (ct *PController) promote(k *sim.Kernel, grp *PGroup, down int) {
+	n := len(grp.Replicas)
+	next := -1
+	for off := 1; off < n; off++ {
+		i := (down + off) % n
+		if grp.Replicas[i].alive && !grp.ctl.Down(i) {
+			next = i
+			break
+		}
+	}
+	if next < 0 {
+		return // no live replica; the shard is unavailable until a restart
+	}
+	grp.Primary = next
+	grp.Promotions++
+	k.Go("promote-drain", func(p *sim.Proc) {
+		rep := grp.Replicas[next]
+		for rep.alive && rep.Engine.QueueDepth() > 0 {
+			p.Sleep(20 * time.Microsecond)
+		}
+		ct.event(p.Now(), "promote", grp.ID, next)
+	})
+}
+
+// resync readmits a restarted replica: reestablish every connection to it
+// (server-side redo-log replay), audit, then ship the deduplicated
+// acknowledged-write log in catch-up rounds and a final held-pool barrier
+// round — the same procedure as Controller.resync, against the gateway's
+// per-shard pool and write record.
+func (ct *PController) resync(p *sim.Proc, grp *PGroup, r int) {
+	defer func() { grp.resyncing[r] = false }()
+	for grp.resyncBusy {
+		p.Sleep(50 * time.Microsecond)
+	}
+	grp.resyncBusy = true
+	defer func() { grp.resyncBusy = false }()
+
+	gw := ct.C.Gateways[0]
+	pool := gw.pools[grp.ID]
+	clients := gw.clients[grp.ID]
+	rep := grp.Replicas[r]
+	start := p.Now()
+	ct.event(start, "resync-start", grp.ID, r)
+	abort := func() { ct.event(p.Now(), "resync-abort", grp.ID, r) }
+
+	held := make([]*replicate.Client, 0, len(clients))
+	hold := func() {
+		grp.quiesce = true
+		held = held[:0]
+		for range clients {
+			held = append(held, pool.Pop(p))
+		}
+	}
+	release := func() {
+		for _, cl := range held {
+			pool.Push(cl)
+		}
+		grp.quiesce = false
+	}
+
+	// 1. Rebuild every connection to the victim and replay the durable
+	// redo-log backlogs before any image ships (replayed entries can be
+	// older versions of keys the down window later overwrote).
+	shipFloor := grp.pendingSince[r].Add(-ct.C.P.Grace)
+	shippedAt := make(map[uint64]sim.Time, len(gw.wrote[grp.ID]))
+	if ct.C.P.MutantResurrect {
+		// Seeded bug (see Params.MutantResurrect): ship one round of images
+		// first, so the replay below can land older versions on top of them.
+		n, err := ct.ship(p, grp, r, shipFloor, shippedAt)
+		if err != nil || !rep.alive {
+			abort()
+			return
+		}
+		grp.Shipped += int64(n)
+	}
+	hold()
+	grp.Replayed += int64(ct.reestablish(p, grp.ctl, r))
+	for _, cl := range held {
+		grp.Replayed += int64(ct.reestablish(p, cl, r))
+	}
+	release()
+	if !rep.alive {
+		abort()
+		return
+	}
+	if ct.AuditReplay != nil {
+		if !ct.waitApplied(p, rep) {
+			abort()
+			return
+		}
+		ct.AuditReplay(p, grp, r)
+	}
+
+	// 2. Capped catch-up ship rounds while traffic continues.
+	for round := 0; ; round++ {
+		n, err := ct.ship(p, grp, r, shipFloor, shippedAt)
+		if err != nil || !rep.alive {
+			abort()
+			return
+		}
+		grp.Shipped += int64(n)
+		if n == 0 || round >= 3 {
+			break
+		}
+	}
+
+	// 3. Readmission barrier: hold the whole pool, ship the final delta,
+	// wait for the victim to apply, readmit everywhere.
+	hold()
+	n, err := ct.ship(p, grp, r, shipFloor, shippedAt)
+	if err != nil || !rep.alive {
+		release()
+		abort()
+		return
+	}
+	grp.Shipped += int64(n)
+	if !ct.waitApplied(p, rep) {
+		release()
+		abort()
+		return
+	}
+	grp.ctl.MarkUp(r)
+	for _, cl := range held {
+		cl.MarkUp(r)
+	}
+	grp.pendingSince[r] = 0
+	release()
+	grp.Resyncs++
+	grp.ResyncTime += p.Now().Sub(start)
+	ct.event(p.Now(), "resync-done", grp.ID, r)
+}
+
+// reestablish rebuilds one client's connection to replica r. The engine is
+// inside the driver's serialized crash span here, so the cross-partition
+// Reestablish is legal; a refusal (misuse outside a serialized span) replays
+// nothing and surfaces as a lost-write violation downstream.
+func (ct *PController) reestablish(p *sim.Proc, cl *replicate.Client, r int) int {
+	rec, ok := cl.Replica(r).(rpc.Recoverable)
+	if !ok {
+		return 0
+	}
+	n, err := rec.Reestablish(p)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// ship sends the latest acknowledged image of every key at or after floor
+// and not yet shipped at its current version, pipelined shipWindow deep on
+// the controller's dedicated connection (see Controller.ship).
+func (ct *PController) ship(p *sim.Proc, grp *PGroup, r int, floor sim.Time, shippedAt map[uint64]sim.Time) (int, error) {
+	ac, ok := grp.ctl.Replica(r).(rpc.AsyncClient)
+	if !ok {
+		return 0, nil
+	}
+	wrote := ct.C.Gateways[0].wrote[grp.ID]
+	var reqs [shipWindow]rpc.Request
+	pend := make([]*rpc.Pending, 0, shipWindow)
+	drain := func() error {
+		for _, pd := range pend {
+			if _, ok := pd.Durable.WaitTimeout(p, ct.C.P.Retry*8); !ok {
+				return rpc.ErrTimeout
+			}
+		}
+		pend = pend[:0]
+		return nil
+	}
+	n := 0
+	for _, key := range ct.C.sortedWroteKeys(grp) {
+		w := wrote[key]
+		if w.at < floor || shippedAt[key] == w.at {
+			continue
+		}
+		at := w.at // snapshot: if the record advances mid-flight, re-ship next round
+		req := &reqs[len(pend)]
+		*req = rpc.Request{Op: rpc.OpWrite, Key: keyIndex(key, ct.C.P.Objects), Size: len(w.buf), Payload: w.buf}
+		pd, err := ac.CallAsync(p, req)
+		if err != nil {
+			return n, err
+		}
+		pend = append(pend, pd)
+		shippedAt[key] = at
+		n++
+		if len(pend) == shipWindow {
+			if err := drain(); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, drain()
+}
+
+// waitApplied waits until the replica's engine queue is drained and its
+// workers have had time to finish in-flight applies (cross-partition read:
+// serialized crash span only).
+func (ct *PController) waitApplied(p *sim.Proc, rep *Replica) bool {
+	for rep.Engine.QueueDepth() > 0 {
+		if !rep.alive {
+			return false
+		}
+		p.Sleep(20 * time.Microsecond)
+	}
+	p.Sleep(100 * time.Microsecond) // workers mid-apply
+	return rep.alive && rep.Engine.QueueDepth() == 0
+}

@@ -334,6 +334,7 @@ func ClusterSweep(cfg ClusterConfig) ClusterResult {
 		}
 	}
 	record(ref, Point{}, ref.k.Now(), ref.verify())
+	ref.k.Shutdown()
 
 	points := pickClusterPoints(cfg, res.Events)
 	res.Points = len(points)
@@ -357,6 +358,7 @@ func ClusterSweep(cfg ClusterConfig) ClusterResult {
 		r.settle()
 		r.counters(&res)
 		record(r, pt, at, r.verify())
+		r.k.Shutdown()
 	}
 	return res
 }

@@ -360,7 +360,11 @@ func newRun(cfg Config, withMonitor bool) *run {
 				p.Sleep(20 * time.Microsecond)
 				if r.serverUp && r.reestGen != r.generation {
 					r.reconnecting = true
-					r.replayed += r.client.Reestablish(p)
+					replayed, err := r.client.Reestablish(p)
+					if err != nil {
+						panic(err) // serial harness: reestablish cannot refuse
+					}
+					r.replayed += replayed
 					r.reestGen = r.generation
 					r.reconnecting = false
 				}
@@ -562,6 +566,7 @@ func Sweep(cfg Config) Result {
 	}
 	record(ref, Point{}, ref.k.Now(), ref.verify())
 	refSpan := ref.k.Now().Sub(sim.Time(0))
+	ref.k.Shutdown()
 
 	points := pickPoints(cfg, res.Events)
 	res.Points = len(points)
@@ -569,6 +574,9 @@ func Sweep(cfg Config) Result {
 		r, at := runPoint(cfg, pt, refSpan)
 		res.Replayed += r.replayed
 		record(r, pt, at, r.verify())
+		// Reap the point's kernel: hundreds of points each parking their
+		// procs would otherwise accumulate across the sweep.
+		r.k.Shutdown()
 	}
 	return res
 }

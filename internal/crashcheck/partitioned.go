@@ -1,0 +1,393 @@
+// Partitioned mode: the cluster crash sweep against the parallel engine
+// deployment (cluster.NewPartitioned). The serial sweep's crash coordinate
+// — "after event i" — does not exist under parallel execution: worker
+// threads interleave events inside a window, so no global event index is
+// stable. Window barriers are: every boundary is a global quiesce point
+// (no kernel mid-event, every delivered cross message queued), and with
+// identical inputs the i-th window covers the same events in every run at
+// any worker count. So the partitioned sweep crashes "at window w" instead,
+// replaying the same workload per point and injecting the crash at that
+// barrier inside a serialized engine span. The driver holds the Serialize
+// token — and with it the serial-kernel-equivalent global event order the
+// failover choreography needs — from the crash until the cluster is healthy
+// again, firing restarts and second crashes at the first barrier past their
+// due time. Invariants checked are the cluster contract (see cluster.go);
+// a violation's minimal repro is its (seed, window, workers) triple.
+package crashcheck
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"prdma/internal/cluster"
+	"prdma/internal/sim"
+)
+
+// PartitionedConfig parameterizes one window-indexed sweep.
+type PartitionedConfig struct {
+	// Seed drives the workload, placement, and point selection.
+	Seed int64
+	// Points is how many window-boundary crash points to sweep.
+	Points int
+	// SecondCrashEvery arms a second same-shard crash during the first
+	// victim's resync window at every n-th point. 0 disables.
+	SecondCrashEvery int
+	// Ops and Clients size the closed-loop verified workload.
+	Ops, Clients int
+	// Shards and Replicas shape the deployment (one gateway: the failover
+	// controller requires it).
+	Shards, Replicas int
+	// ObjSize is the object size in bytes (≥ 16 for versioned payloads).
+	ObjSize int
+	// Workers is the engine worker count. The crash windows are
+	// worker-count-stable, so a violation found at Workers=8 replays at
+	// Workers=1 — that is the point of the coordinate system.
+	Workers int
+	// Mutant seeds a known bug class, as in ClusterConfig: "ackbug" or
+	// "resurrect".
+	Mutant string
+}
+
+// DefaultPartitionedConfig returns a CI-sized partitioned sweep.
+func DefaultPartitionedConfig(seed int64) PartitionedConfig {
+	return PartitionedConfig{
+		Seed:             seed,
+		Points:           40,
+		SecondCrashEvery: 6,
+		Ops:              240,
+		Clients:          6,
+		Shards:           2,
+		Replicas:         3,
+		ObjSize:          64,
+		Workers:          2,
+	}
+}
+
+// PartitionedResult summarizes one partitioned sweep. Point.Event holds the
+// crash window index.
+type PartitionedResult struct {
+	Seed    int64
+	Workers int
+	Points  int
+	// Windows is the window count of the crash-free reference load — the
+	// coordinate space the points were sampled from.
+	Windows uint64
+	// Controller work totals across all points.
+	Failovers, Resyncs, Replayed, Shipped int64
+	// PMFull totals PM-exhaustion backpressure drops across all points.
+	PMFull         int64
+	Violations     []ClusterViolation
+	ViolationCount int
+}
+
+// Minimal returns the earliest-window violation, nil when clean. Replaying
+// it needs only the (seed, window, workers) triple — and workers is free to
+// be 1, since window indices are worker-count-stable.
+func (r *PartitionedResult) Minimal() *ClusterViolation {
+	var min *ClusterViolation
+	for i := range r.Violations {
+		v := &r.Violations[i]
+		if min == nil || v.Point.Event < min.Point.Event {
+			min = v
+		}
+	}
+	return min
+}
+
+// pRun is one partitioned deployment plus its in-flight workload; the sweep
+// driver owns the engine stepping.
+type pRun struct {
+	c    *cluster.PCluster
+	ct   *cluster.PController
+	load *cluster.PLoadRun
+	res  *cluster.PLoadResult
+	err  error
+
+	loadEndWindows uint64
+	auditMsgs      []string
+}
+
+func newPartitionedRun(cfg PartitionedConfig) *pRun {
+	p := cluster.DefaultParams()
+	p.Shards = cfg.Shards
+	p.Replicas = cfg.Replicas
+	p.Gateways = 1
+	p.PoolSize = 2
+	p.Objects = 128
+	p.ObjSize = cfg.ObjSize
+	p.Seed = uint64(cfg.Seed) | 1
+	switch cfg.Mutant {
+	case "ackbug":
+		// See ClusterConfig.Mutant: the premature-ack knob only exists on
+		// the native flush path.
+		p.NIC.EmulateFlush = false
+		p.NIC.AckBeforeDurable = true
+	case "resurrect":
+		p.MutantResurrect = true
+	}
+	r := &pRun{}
+	c, err := cluster.NewPartitioned(cfg.Workers, p)
+	if err != nil {
+		panic(err)
+	}
+	r.c = c
+	c.EnableAckAudit()
+	ct, err := c.StartController()
+	if err != nil {
+		panic(err)
+	}
+	r.ct = ct
+	ct.AuditReplay = r.auditReplay
+	r.load, r.err = c.StartLoad(cluster.Load{
+		Clients:  cfg.Clients,
+		Ops:      cfg.Ops,
+		ReadFrac: 0.3,
+		Verify:   true,
+		Seed:     uint64(cfg.Seed) | 1,
+	})
+	if r.err != nil {
+		panic(r.err)
+	}
+	return r
+}
+
+// auditReplay is the partitioned port of clusterRun.auditReplay: hold a
+// rejoining replica to its §4.2 ack contract right after log replay, before
+// any catch-up image ships.
+func (r *pRun) auditReplay(p *sim.Proc, grp *cluster.PGroup, ri int) {
+	acked := grp.AckedVersions(ri)
+	if len(acked) == 0 {
+		return
+	}
+	rep := grp.Replicas[ri]
+	slots := make([]uint64, 0, len(acked))
+	for slot := range acked {
+		slots = append(slots, slot)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	buf := make([]byte, 12)
+	for _, slot := range slots {
+		want := acked[slot]
+		if !rep.Store.Has(slot) {
+			r.auditMsgs = append(r.auditMsgs, fmt.Sprintf(
+				"ack audit: shard %d replica %d slot %d: durably acked ver %d but replay restored nothing",
+				grp.ID, ri, slot, want))
+			continue
+		}
+		got := binary.LittleEndian.Uint32(rep.Host.PM.ReadBytesInto(rep.Store.Addr(slot), buf)[8:12])
+		if got < want {
+			r.auditMsgs = append(r.auditMsgs, fmt.Sprintf(
+				"ack audit: shard %d replica %d slot %d: durably acked ver %d but replay restored ver %d",
+				grp.ID, ri, slot, want, got))
+		}
+	}
+}
+
+// stepTo advances the engine to exactly window w (a no-op if already past).
+func (r *pRun) stepTo(w uint64) {
+	for r.c.Eng.Windows() < w {
+		n := int(w - r.c.Eng.Windows())
+		if n > 4096 {
+			n = 4096
+		}
+		if r.c.Eng.RunWindows(n) == 0 {
+			return // quiescent before w: crash lands on a drained engine
+		}
+	}
+}
+
+// injection is a driver-side pending intervention, fired at the first window
+// barrier at or past its due time. Crashes enqueue the victim's restart
+// P.Restart later — the partitioned CrashReplica leaves the restart to the
+// driver because only barriers may flip replica liveness.
+type injection struct {
+	due   sim.Time
+	crash bool
+	s, r  int
+}
+
+// settle fires due injections and steps windows until every injection has
+// fired, the load has finished, and the cluster is healthy — or the horizon
+// passes. The controller polls forever, so the engine never quiesces on its
+// own; sim time bounds the run. Returns at a window barrier.
+func (r *pRun) settle(pend []injection, horizon sim.Time) {
+	for {
+		now := r.c.Now()
+		for i := 0; i < len(pend); {
+			inj := pend[i]
+			if inj.due > now {
+				i++
+				continue
+			}
+			pend = append(pend[:i], pend[i+1:]...)
+			if inj.crash {
+				r.c.CrashReplica(inj.s, inj.r)
+				pend = append(pend, injection{due: now.Add(r.c.P.Restart), s: inj.s, r: inj.r})
+			} else {
+				r.c.RestartReplica(inj.s, inj.r)
+			}
+			i = 0
+		}
+		if len(pend) == 0 && r.load.Done() && r.c.Healthy() {
+			return
+		}
+		if now >= horizon {
+			return
+		}
+		if r.c.Eng.RunWindows(16) == 0 {
+			return
+		}
+	}
+}
+
+// drain stops the controller and runs the engine quiescent (bounded, in case
+// an auxiliary proc is still polling), then collects the load result.
+func (r *pRun) drain(horizon sim.Time) {
+	r.ct.Stop()
+	for r.c.Now() < horizon && r.c.Eng.RunWindows(256) != 0 {
+	}
+	r.res = r.load.Collect()
+}
+
+// verify checks the cluster contract after drain (see clusterRun.verify).
+func (r *pRun) verify() []string {
+	var out []string
+	bad := func(format string, a ...any) {
+		out = append(out, fmt.Sprintf(format, a...))
+	}
+	out = append(out, r.auditMsgs...)
+	if !r.load.Done() {
+		bad("workload never finished before the settle horizon")
+		return out
+	}
+	if r.res.Errors != 0 {
+		bad("%d operations failed permanently", r.res.Errors)
+	}
+	if r.res.BadReads != 0 {
+		bad("%d reads returned malformed or future payloads", r.res.BadReads)
+	}
+	if !r.c.Healthy() {
+		bad("cluster not healthy at horizon (replica still down or resyncing)")
+	}
+	if err := r.c.CheckConsistency(); err != nil {
+		bad("consistency: %v", err)
+	}
+	return out
+}
+
+func (r *pRun) counters(res *PartitionedResult) {
+	for _, grp := range r.c.Groups {
+		res.Failovers += grp.Failovers
+		res.Resyncs += grp.Resyncs
+		res.Replayed += grp.Replayed
+		res.Shipped += grp.Shipped
+	}
+	res.PMFull += r.c.PMFull()
+}
+
+// PartitionedSweep runs the crash-free reference to size the window space,
+// then replays the workload once per window-boundary crash point.
+func PartitionedSweep(cfg PartitionedConfig) PartitionedResult {
+	res := PartitionedResult{Seed: cfg.Seed, Workers: cfg.Workers}
+	horizonFrom := func(t sim.Time) sim.Time { return t.Add(120 * time.Millisecond) }
+
+	ref := newPartitionedRun(cfg)
+	refHorizon := horizonFrom(0)
+	for !(ref.load.Done() && ref.c.Healthy()) && ref.c.Now() < refHorizon {
+		if ref.c.Eng.RunWindows(16) == 0 {
+			break
+		}
+		if ref.loadEndWindows == 0 && ref.load.Done() {
+			ref.loadEndWindows = ref.c.Eng.Windows()
+		}
+	}
+	ref.drain(refHorizon)
+	res.Windows = ref.loadEndWindows
+	record := func(r *pRun, pt Point, at sim.Time, msgs []string) {
+		for _, msg := range msgs {
+			res.ViolationCount++
+			if len(res.Violations) < maxViolations {
+				res.Violations = append(res.Violations, ClusterViolation{
+					Seed: cfg.Seed, Point: pt, At: at, Msg: msg,
+				})
+			}
+		}
+	}
+	record(ref, Point{}, ref.c.Now(), ref.verify())
+	ref.c.Eng.Shutdown()
+
+	points := pickPartitionedPoints(cfg, res.Windows)
+	res.Points = len(points)
+	for _, pt := range points {
+		r := newPartitionedRun(cfg)
+		w := pt.Event
+		r.stepTo(w)
+		at := r.c.Now()
+		// The victim cycles deterministically through every (shard, replica)
+		// pair as the window index advances.
+		s := int(w) % cfg.Shards
+		rep := int(w/uint64(cfg.Shards)) % cfg.Replicas
+		// The driver holds the Serialize token across the whole crash/
+		// recovery span: every post-crash window runs serial-kernel
+		// equivalent, which is what legalizes the controller's cross-
+		// partition reestablish/quiesce/drain choreography.
+		r.c.Eng.Serialize()
+		pend := []injection{{due: at, crash: true, s: s, r: rep}}
+		if pt.SecondCrash {
+			// A second replica of the same shard fails while the first
+			// victim's recovery/resync is typically in flight.
+			delta := time.Duration(w%40) * 50 * time.Microsecond
+			pend = append(pend, injection{
+				due: at.Add(r.c.P.Restart + delta), crash: true, s: s, r: (rep + 1) % cfg.Replicas,
+			})
+		}
+		horizon := horizonFrom(at)
+		r.settle(pend, horizon)
+		r.drain(horizon)
+		r.c.Eng.Unserialize()
+		r.counters(&res)
+		record(r, pt, at, r.verify())
+		r.c.Eng.Shutdown()
+	}
+	return res
+}
+
+// pickPartitionedPoints samples distinct window boundaries across the
+// reference load's window space.
+func pickPartitionedPoints(cfg PartitionedConfig, windows uint64) []Point {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9A27170))
+	lo := uint64(20)
+	if windows <= lo+2 {
+		lo = 1
+	}
+	span := int64(windows - lo)
+	if span <= 0 {
+		span = 1
+	}
+	seen := make(map[uint64]bool)
+	var points []Point
+	n := cfg.Points
+	if uint64(n) > uint64(span) {
+		n = int(span)
+	}
+	for len(points) < n {
+		w := lo + uint64(rng.Int63n(span))
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		points = append(points, Point{Event: w})
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Event < points[j].Event })
+	if cfg.SecondCrashEvery > 0 {
+		for i := range points {
+			if (i+1)%cfg.SecondCrashEvery == 0 {
+				points[i].SecondCrash = true
+			}
+		}
+	}
+	return points
+}

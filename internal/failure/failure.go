@@ -115,7 +115,11 @@ func (d *Driver) callUntilDone(p *sim.Proc, req *rpc.Request, m *Measurement) {
 		if d.reestGen != d.generation {
 			d.reestGen = d.generation
 			d.reconnecting = true
-			m.Replayed += d.Client.Reestablish(p)
+			replayed, err := d.Client.Reestablish(p)
+			if err != nil {
+				panic(err) // serial-kernel driver: reestablish cannot refuse
+			}
+			m.Replayed += replayed
 			d.reconnecting = false
 		}
 		for d.reconnecting {

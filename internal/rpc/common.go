@@ -256,11 +256,13 @@ type conn struct {
 	log *redolog.Log
 
 	// eng is non-nil when the client and server hosts live on different
-	// kernels of one sim.Engine (cross-partition connection). The log then
-	// runs on the client's kernel and every hop between the two sides —
-	// consume notifications, control-word persists — travels as a
-	// lookahead-delayed engine message. Engine mode supports WFlush-RPC
-	// only and excludes crash/failover (see NewDurable).
+	// kernels of one sim.Engine (cross-partition connection). The log's
+	// accounting then runs on the client's kernel and every hop between the
+	// two sides — consume notifications, control-word persists, recv-buffer
+	// and reservation registrations — travels as a lookahead-delayed engine
+	// message (see NewDurable for the per-family split). All durable
+	// families run engine mode; Reestablish additionally requires a
+	// serialized engine span, and CallBatch is unsupported.
 	eng *sim.Engine
 
 	seq     uint64

@@ -38,22 +38,36 @@ func nativeSFlush(kind Kind, srv *Server) bool {
 // NewDurable connects one of the durable RPC clients from cli to srv.
 //
 // When cli and srv live on different kernels of one sim.Engine the
-// connection runs in engine mode: the redo log's accounting moves to the
-// client's kernel and the consume/control-persist hops cross partitions as
-// lookahead-delayed messages. Only WFlush-RPC supports this — the other
-// families push state the wrong way across the boundary (server-side
-// RFlush notifications match client-registered expectations, SFlush
-// reservations queue client state the server NIC pops) — and the
-// crash/failover machinery (Reestablish, CallBatch stash) stays
-// single-kernel by design.
+// connection runs in engine mode, and the redo-log ownership splits the same
+// way in every family: the entry bytes always land in the server's PM (the
+// NIC persists them on arrival, exactly as in serial mode), while the
+// accounting half — Reserve, Consume, the FIFO durable window — runs on the
+// client's kernel. Every hop that would touch the other side's state crosses
+// as a lookahead-delayed engine message. Per family:
+//
+//	WFlush-RPC   : control-word persists hop to the server partition and
+//	               back (redolog.CtrlPersist); worker-side consume
+//	               notifications hop back to the client (enqueueLogged).
+//	SFlush-RPC   : the per-request receive buffer (emulated) or the
+//	               reservation FIFO the server NIC pops (native) is
+//	               server-kernel state, so its registration hops over; the
+//	               hop lands a full lookahead before the send can arrive,
+//	               because the send still has to traverse the client NIC's
+//	               WQE pipeline (ProcPerWQE > 0) before reaching the wire.
+//	W-RFlush-RPC : nothing extra — the RFlush notification is a plain wire
+//	               message, its expectation table is client-local, and the
+//	               server-side clflush touches only server state.
+//	S-RFlush-RPC : the receive-buffer registration hops like SFlush.
+//
+// Reestablish works cross-partition only inside a serialized engine span
+// (sim.Engine.Serialize gives recovery the global event order it needs);
+// CallBatch returns ErrCrossPartition — the batch stash is shared
+// client/server state no hop discipline covers.
 func NewDurable(kind Kind, cli *host.Host, srv *Server, cfg Config) Client {
 	if !kind.Durable() {
 		panic(fmt.Sprintf("rpc: %v is not a durable kind", kind))
 	}
 	c := &durableClient{conn: newConn(kind, cli, srv, cfg, rnic.RC)}
-	if c.eng != nil && kind != WFlushRPC {
-		panic(fmt.Sprintf("rpc: %v does not support cross-partition connections (engine mode is WFlush-RPC only)", kind))
-	}
 	c.newLog()
 	c.wire()
 	return c
@@ -304,7 +318,7 @@ func (c *durableClient) dispatch(p *sim.Proc, seq uint64, addr int64, entryBytes
 			if !nativeSFlush(c.kind, c.srv) {
 				// Native mode keeps a pre-posted recv ring; the
 				// emulated modes post buffers per request.
-				c.sq.PostRecv(c.reqSlot(seq), entryBytes)
+				c.postRecvServer(c.reqSlot(seq), entryBytes)
 			}
 			return c.cq.SendAsync(entryBytes, image)
 		}
@@ -318,20 +332,49 @@ func (c *durableClient) dispatch(p *sim.Proc, seq uint64, addr int64, entryBytes
 		return durF
 	case SFlushRPC:
 		if nativeSFlush(c.kind, c.srv) {
-			c.resQueue = append(c.resQueue, addr)
+			// The reservation FIFO is consumed by the server NIC
+			// (popReservation), so in engine mode it is server-kernel
+			// state and the append crosses partitions.
+			if c.eng != nil {
+				c.eng.PostAfterLookahead(c.cli.K, c.srv.H.K, func() {
+					c.resQueue = append(c.resQueue, addr)
+				})
+			} else {
+				c.resQueue = append(c.resQueue, addr)
+			}
 		} else {
 			// Emulated SFlush: the receive buffer IS the log slot.
-			c.sq.PostRecv(addr, entryBytes)
+			c.postRecvServer(addr, entryBytes)
 		}
 		return c.cq.SendFlushTailAsync(entryBytes, image, tail)
 	default: // SRFlushRPC
 		// Receive buffers are log-resident PM slots; the NIC persists
 		// on placement and the server CPU notifies.
-		c.sq.PostRecv(addr, entryBytes)
+		c.postRecvServer(addr, entryBytes)
 		durF := c.cq.ExpectNotify(seq)
 		c.cq.SendTailAsync(entryBytes, image, tail)
 		return durF
 	}
+}
+
+// postRecvServer registers a receive buffer on the server QP. The recv queue
+// is server-NIC state: in engine mode the registration crosses as a
+// lookahead-delayed control message. It always lands before the matching
+// send — the hop arrives exactly one lookahead after the dispatch event,
+// while the send leaves the client NIC strictly later (the WQE pipeline
+// costs ProcPerWQE > 0) and then pays at least one lookahead of propagation.
+// Hop emission order equals send order (the canonical cross merge preserves
+// per-source order), so the FIFO buffer↔send matching is unchanged. The
+// serial path stays closure-free for the alloc pins.
+func (c *durableClient) postRecvServer(addr int64, length int) {
+	if c.eng == nil {
+		c.sq.PostRecv(addr, length)
+		return
+	}
+	sq := c.sq // bind this incarnation: a reestablish swaps c.conn
+	c.eng.PostAfterLookahead(c.cli.K, c.srv.H.K, func() {
+		sq.PostRecv(addr, length)
+	})
 }
 
 // issue deposits one request durably and returns (seq, durable future,
@@ -396,9 +439,9 @@ func readResponse(issued sim.Time, rm respMsg, durF, done *sim.Future[sim.Time])
 func (c *durableClient) CallBatch(p *sim.Proc, reqs []*Request) ([]*Response, error) {
 	if c.eng != nil {
 		// The batch stash (c.batches) is written by the client and read by
-		// the server; cross-partition that is a data race, and no engine
-		// workload batches.
-		panic("rpc: CallBatch is not supported on cross-partition connections")
+		// the server; cross-partition that is a data race. Callers fall
+		// back to unbatched Calls.
+		return nil, ErrCrossPartition
 	}
 	issued := p.Now()
 	breq, hasWrite := makeBatchFrame(reqs)

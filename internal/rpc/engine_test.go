@@ -12,18 +12,21 @@ import (
 	"prdma/internal/sim"
 )
 
-// engineTrace runs a WFlush-RPC workload with the client and server on
-// separate kernels of one engine and returns a textual trace of every
-// response's timing plus end-state counters. The trace must be identical at
-// every worker count: the partitioning is fixed, so worker threads are pure
-// execution resources.
-func engineTrace(t *testing.T, workers, procs, ops int) (string, uint64) {
+// engineTrace runs a durable-RPC workload of the given family with the
+// client and server on separate kernels of one engine and returns a textual
+// trace of every response's timing plus end-state counters. The trace must
+// be identical at every worker count: the partitioning is fixed, so worker
+// threads are pure execution resources. native=true turns off the
+// read-after-write flush emulation (exercising, for SFlush, the server-NIC
+// reservation FIFO path).
+func engineTrace(t *testing.T, kind Kind, native bool, workers, procs, ops int) (string, uint64) {
 	t.Helper()
 	fp := fabric.DefaultParams()
 	e := sim.NewEngine(fp.Lookahead(), workers)
 	kc, ks := e.NewKernel(), e.NewKernel()
 	net := fabric.New(kc, fp, 7)
 	np := rnic.DefaultParams()
+	np.EmulateFlush = !native
 	cli := host.New(kc, "cli", net, host.DefaultParams(), pmem.DefaultParams(), np)
 	srv := host.New(ks, "srv", net, host.DefaultParams(), pmem.DefaultParams(), np)
 	store, err := NewStore(srv, 256, 256)
@@ -31,7 +34,7 @@ func engineTrace(t *testing.T, workers, procs, ops int) (string, uint64) {
 		t.Fatal(err)
 	}
 	s := NewServer(srv, store, DefaultConfig())
-	c := New(WFlushRPC, cli, s, s.Cfg)
+	c := New(kind, cli, s, s.Cfg)
 
 	var b bytes.Buffer
 	done := 0
@@ -77,12 +80,12 @@ func engineTrace(t *testing.T, workers, procs, ops int) (string, uint64) {
 // partition boundary.
 func TestEngineModeWFlushDeterminism(t *testing.T) {
 	const procs, ops = 4, 25
-	want, crossed := engineTrace(t, 1, procs, ops)
+	want, crossed := engineTrace(t, WFlushRPC, false, 1, procs, ops)
 	if crossed == 0 {
 		t.Fatal("no messages crossed the partition boundary")
 	}
 	for _, workers := range []int{2, 4} {
-		got, _ := engineTrace(t, workers, procs, ops)
+		got, _ := engineTrace(t, WFlushRPC, false, workers, procs, ops)
 		if got != want {
 			t.Fatalf("workers=%d: trace diverged from workers=1\n--- workers=1\n%.2000s\n--- workers=%d\n%.2000s",
 				workers, want, workers, got)
@@ -90,30 +93,38 @@ func TestEngineModeWFlushDeterminism(t *testing.T) {
 	}
 }
 
-// TestEngineModeRejectsUnsupported pins the guard rails: engine mode exists
-// for WFlush-RPC only, and the other durable families fail loudly instead of
-// racing across the partition boundary.
-func TestEngineModeRejectsUnsupported(t *testing.T) {
-	fp := fabric.DefaultParams()
-	e := sim.NewEngine(fp.Lookahead(), 1)
-	kc, ks := e.NewKernel(), e.NewKernel()
-	net := fabric.New(kc, fp, 7)
-	np := rnic.DefaultParams()
-	cli := host.New(kc, "cli", net, host.DefaultParams(), pmem.DefaultParams(), np)
-	srv := host.New(ks, "srv", net, host.DefaultParams(), pmem.DefaultParams(), np)
-	store, err := NewStore(srv, 16, 64)
-	if err != nil {
-		t.Fatal(err)
+// TestEngineModeFamilyDeterminism extends the engine-mode contract to every
+// durable family: each runs cross-kernel with byte-identical traces at
+// workers 1, 2, 4 and 8. SFlush is exercised in both flavors — emulated
+// (per-request recv-buffer registration hops to the server partition) and
+// native (the reservation FIFO the server NIC pops hops over instead);
+// SRFlush always registers its log-slot buffers cross-partition, and
+// WRFlush checks that the notification path needs no extra routing.
+func TestEngineModeFamilyDeterminism(t *testing.T) {
+	const procs, ops = 3, 12
+	cases := []struct {
+		name   string
+		kind   Kind
+		native bool
+	}{
+		{"sflush-emulated", SFlushRPC, false},
+		{"sflush-native", SFlushRPC, true},
+		{"wrflush", WRFlushRPC, false},
+		{"srflush", SRFlushRPC, false},
 	}
-	s := NewServer(srv, store, DefaultConfig())
-	for _, kind := range []Kind{SFlushRPC, WRFlushRPC, SRFlushRPC} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%v: cross-partition connection did not panic", kind)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, crossed := engineTrace(t, tc.kind, tc.native, 1, procs, ops)
+			if crossed == 0 {
+				t.Fatal("no messages crossed the partition boundary")
+			}
+			for _, workers := range []int{2, 4, 8} {
+				got, _ := engineTrace(t, tc.kind, tc.native, workers, procs, ops)
+				if got != want {
+					t.Fatalf("workers=%d: trace diverged from workers=1\n--- workers=1\n%.2000s\n--- workers=%d\n%.2000s",
+						workers, want, workers, got)
 				}
-			}()
-			New(kind, cli, s, s.Cfg)
-		}()
+			}
+		})
 	}
 }

@@ -11,6 +11,13 @@ import (
 // time — in the failure experiments this means the server crashed.
 var ErrTimeout = errors.New("rpc: call timed out")
 
+// ErrCrossPartition is returned when an operation cannot run on a
+// cross-partition (engine-mode) connection: batching (the batch stash is
+// shared client/server state), and reestablishment outside a serialized
+// engine span. Callers fall back — unbatched calls, or sim.Engine.Serialize
+// around the recovery span — instead of crashing the run.
+var ErrCrossPartition = errors.New("rpc: not supported on a cross-partition connection")
+
 // Recoverable is the contract the failure-recovery experiments (§5.4,
 // Fig. 12) drive: calls with timeouts, and connection re-establishment
 // after a server restart. For durable RPCs, Reestablish also recovers the
@@ -21,8 +28,10 @@ type Recoverable interface {
 	// CallTimeout is Call with a deadline (the RDMA re-transfer interval).
 	CallTimeout(p *sim.Proc, req *Request, d time.Duration) (*Response, error)
 	// Reestablish rebuilds the connection after the server restarts and
-	// returns how many requests were replayed from the redo log.
-	Reestablish(p *sim.Proc) int
+	// returns how many requests were replayed from the redo log. On an
+	// engine-mode connection it returns ErrCrossPartition unless the engine
+	// is inside a serialized span (recovery needs a global event order).
+	Reestablish(p *sim.Proc) (int, error)
 }
 
 // CallTimeout implements Recoverable for the durable RPCs.
@@ -53,12 +62,13 @@ func (c *durableClient) CallTimeout(p *sim.Proc, req *Request, d time.Duration) 
 // recovery from PM, and server-side replay of every recovered entry. If the
 // server crashes again mid-recovery, the whole procedure retries against the
 // new incarnation.
-func (c *durableClient) Reestablish(p *sim.Proc) int {
-	if c.eng != nil {
+func (c *durableClient) Reestablish(p *sim.Proc) (int, error) {
+	if c.eng != nil && !c.eng.Serialized() {
 		// Recovery walks server PM from the client proc and replays into a
-		// rebuilt connection — inherently global-order work. Partitioned
-		// topologies run crash-free; the failover suites pin one kernel.
-		panic("rpc: Reestablish is not supported on cross-partition connections")
+		// rebuilt connection — inherently global-order work. The partitioned
+		// failover controller serializes the engine around resync spans;
+		// anything else must not attempt cross-partition recovery.
+		return 0, ErrCrossPartition
 	}
 	log := c.log
 	for {
@@ -89,7 +99,7 @@ func (c *durableClient) Reestablish(p *sim.Proc) int {
 			}
 			c.enqueueLogged(seq, req, respond)
 		}
-		return len(entries)
+		return len(entries), nil
 	}
 }
 
@@ -110,12 +120,12 @@ func (c *farmClient) CallTimeout(p *sim.Proc, req *Request, d time.Duration) (*R
 
 // Reestablish rebuilds the FaRM connection. Traditional RPCs have no log:
 // nothing replays, and the client must re-send every incomplete request.
-func (c *farmClient) Reestablish(p *sim.Proc) int {
+func (c *farmClient) Reestablish(p *sim.Proc) (int, error) {
 	old := c.conn
 	old.closed = true
 	nc := newConn(FaRM, old.cli, old.srv, old.cfg, c.cq.Transport)
 	c.conn = nc
 	c.startWriteDrain()
 	startRingPoller(c.conn)
-	return 0
+	return 0, nil
 }

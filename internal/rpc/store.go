@@ -43,6 +43,12 @@ type Store struct {
 	// version-guarded writes rejected as older than the resident object.
 	Reads, Writes, Scans int64
 	StaleDrops           int64
+	// PMFull counts operations dropped because the PM arena could not
+	// allocate a home for a first-touch key: backpressure surfaced to the
+	// deployment's stats instead of a panic aborting the simulation. The
+	// durability contract is unaffected — the request's log entry is
+	// durable and replays to the same counted drop.
+	PMFull int64
 }
 
 // NewStore allocates n objects of objSize bytes in h's PM.
@@ -59,16 +65,29 @@ func NewStore(h *host.Host, n int, objSize int) (*Store, error) {
 }
 
 // Addr returns the PM address of key, allocating on first touch (inserts).
+// Exhaustion panics; the apply paths use tryAddr, which degrades to a
+// counted drop instead — external callers reach Addr only after Has.
 func (s *Store) Addr(key uint64) int64 {
+	a, ok := s.tryAddr(key)
+	if !ok {
+		panic("store: out of PM")
+	}
+	return a
+}
+
+// tryAddr is Addr without the panic: ok is false when the key is absent and
+// the PM arena cannot fit another object, counting the drop in PMFull.
+func (s *Store) tryAddr(key uint64) (int64, bool) {
 	if a, ok := s.addrs[key]; ok {
-		return a
+		return a, true
 	}
 	a, err := s.H.PMArena.Alloc(int64(s.ObjSize))
 	if err != nil {
-		panic(fmt.Sprintf("store: out of PM: %v", err))
+		s.PMFull++
+		return 0, false
 	}
 	s.addrs[key] = a
-	return a
+	return a, true
 }
 
 // Has reports whether key exists.
@@ -91,8 +110,11 @@ func (s *Store) ApplyFromBuffer(p *sim.Proc, req *Request) []byte {
 			s.StaleDrops++
 			return nil
 		}
+		addr, ok := s.tryAddr(req.Key)
+		if !ok {
+			return nil // out of PM: counted backpressure drop
+		}
 		s.Writes++
-		addr := s.Addr(req.Key)
 		s.H.Memcpy(p, req.Size)
 		payload := req.Payload
 		if req.Sparse.Len > 0 {
@@ -105,9 +127,10 @@ func (s *Store) ApplyFromBuffer(p *sim.Proc, req *Request) []byte {
 		return s.readRange(p, req)
 	default:
 		s.Reads++
-		addr := s.Addr(req.Key)
-		if req.Payload == nil {
-			// Synthetic traffic: pay the media latency, skip contents.
+		addr, ok := s.tryAddr(req.Key)
+		if !ok || req.Payload == nil {
+			// Synthetic traffic — or a first-touch read the exhausted
+			// arena cannot home: pay the media latency, skip contents.
 			s.readTiming(p, req.Size)
 			return nil
 		}
@@ -174,8 +197,8 @@ func (s *Store) readRange(p *sim.Proc, req *Request) []byte {
 	}
 	var out []byte
 	for i := 0; i < n; i++ {
-		addr := s.Addr(req.Key + uint64(i))
-		if req.Payload == nil {
+		addr, ok := s.tryAddr(req.Key + uint64(i))
+		if !ok || req.Payload == nil {
 			s.readTiming(p, req.Size)
 			continue
 		}

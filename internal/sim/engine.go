@@ -48,8 +48,23 @@ type Engine struct {
 	outboxes [][]crossMsg
 	merged   []crossMsg // flush scratch, reused across windows
 
+	// work/wg form the persistent worker pool, created lazily on the first
+	// parallel window and torn down by Shutdown. workersUp guards both.
+	work      chan *Kernel
+	wg        sync.WaitGroup
+	workersUp bool
+
+	// serialized is a nesting counter: while positive, windows execute the
+	// kernels sequentially on the stepping goroutine in creation order —
+	// exactly the workers<=1 code path. Crash/recovery spans hold a token
+	// per crashed replica so recovery procs see one global event order.
+	// Written only by the stepping goroutine (driver context at a window
+	// barrier, or an event inside a serialized window).
+	serialized int
+
 	stopped atomic.Bool
 	crossed uint64 // cross-partition messages delivered
+	windows uint64 // windows executed; the partitioned crash coordinate
 }
 
 type crossMsg struct {
@@ -104,11 +119,76 @@ func (e *Engine) Fired() uint64 {
 // Crossed reports how many cross-partition messages have been delivered.
 func (e *Engine) Crossed() uint64 { return e.crossed }
 
+// Windows reports how many conservative windows have executed. Every window
+// boundary is a global barrier — no kernel is mid-event, every delivered
+// cross message is in a destination queue — so the window index is a stable,
+// enumerable coordinate for external intervention: with identical inputs the
+// i-th window covers the same events in every run, at any worker count. The
+// partitioned crash sweep crashes "at window i" the way the serial sweep
+// crashes "after event i".
+func (e *Engine) Windows() uint64 { return e.windows }
+
+// Serialize forces subsequent windows to run as an exact global event merge
+// on the stepping goroutine (see stepMerged) — the same total order a single
+// serial kernel would produce, independent of the worker count — until a
+// matching Unserialize. Calls nest. Crash/recovery spans use it: with a
+// replica down, recovery procs reach across kernels in patterns the
+// conservative lookahead cannot order (reestablish, log replay, quiesce
+// barriers), and a serialized window gives them that global order, while
+// Post delivers cross messages directly instead of deferring them to the
+// next barrier. Call only from a window barrier (driver context) or from an
+// event already inside a serialized window.
+func (e *Engine) Serialize() {
+	e.serialized++
+	e.syncClocks()
+}
+
+// syncClocks raises every kernel's clock to the engine-wide maximum. Legal
+// whenever a global order holds (a window barrier, or mid-event in a merged
+// window): every pending event is then at or past the maximum clock, so no
+// kernel's queue can go backwards. Serialized spans need it because driver
+// barrier actions and recovery procs schedule onto kernels whose clocks lag
+// the barrier (a crashed replica's clock froze at its crash) — without the
+// sync those events would land in other kernels' past. stepMerged re-syncs
+// at every serialized barrier so the invariant holds for the span's length.
+func (e *Engine) syncClocks() {
+	var max Time
+	for _, k := range e.kernels {
+		if k.now > max {
+			max = k.now
+		}
+	}
+	for _, k := range e.kernels {
+		if k.now < max {
+			k.now = max
+		}
+	}
+}
+
+// Unserialize releases one Serialize token.
+func (e *Engine) Unserialize() {
+	if e.serialized <= 0 {
+		panic("sim: Unserialize without matching Serialize")
+	}
+	e.serialized--
+}
+
+// Serialized reports whether the engine is inside a serialized span.
+func (e *Engine) Serialized() bool { return e.serialized > 0 }
+
 // Post schedules fn at time `at` on the dst partition, from an event
 // currently executing on src (or from setup code before Run). The timestamp
 // must be beyond the current window edge; posts at src.Now() plus at least
 // the lookahead always are. Messages are buffered per source and delivered
 // at the next window barrier in canonical order.
+//
+// Inside a serialized span the window edge does not bind: kernels step
+// sequentially on one goroutine, so a global event order exists without the
+// lookahead discipline, and the message is scheduled onto dst directly
+// (clamped to dst's clock — recovery procs reach kernels whose clocks lag
+// the window, exactly the interactions Serialize exists to legalize). The
+// branch depends only on the serialized state, never the worker count, so
+// runs stay byte-identical across workers.
 func (e *Engine) Post(src, dst *Kernel, at Time, fn func()) {
 	if src == dst {
 		src.Schedule(at, fn)
@@ -116,6 +196,13 @@ func (e *Engine) Post(src, dst *Kernel, at Time, fn func()) {
 	}
 	if src.eng != e || dst.eng != e {
 		panic("sim: Post across kernels that do not share this engine")
+	}
+	if e.serialized > 0 {
+		if at < dst.now {
+			at = dst.now
+		}
+		dst.Schedule(at, fn)
+		return
 	}
 	if at <= e.deadline {
 		panic(fmt.Sprintf("sim: cross-partition post at %v inside the current window (edge %v): lookahead violated", at, e.deadline))
@@ -133,60 +220,140 @@ func (e *Engine) PostAfterLookahead(src, dst *Kernel, fn func()) {
 // partition's events.
 func (e *Engine) Stop() { e.stopped.Store(true) }
 
+// startWorkers lazily brings up the persistent worker pool. The pool lives
+// until Shutdown so that window-stepped drivers (RunWindows callers) do not
+// respawn goroutines per call.
+func (e *Engine) startWorkers() {
+	if e.workersUp {
+		return
+	}
+	e.work = make(chan *Kernel)
+	for i := 0; i < e.workers; i++ {
+		go func() {
+			for k := range e.work {
+				k.RunUntil(e.deadline)
+				e.wg.Done()
+			}
+		}()
+	}
+	e.workersUp = true
+}
+
+// stepWindow executes one conservative window: deliver the previous window's
+// cross messages, open the window at the globally earliest event (idle
+// stretches are jumped in one step, exactly like the serial kernel), run
+// every kernel with work up to the inclusive edge, barrier. Returns false
+// when the simulation is quiescent (no pending events anywhere and nothing
+// buffered) or Stop was called.
+func (e *Engine) stepWindow() bool {
+	if e.stopped.Load() {
+		return false
+	}
+	e.flush()
+	next := Time(math.MaxInt64)
+	for _, k := range e.kernels {
+		if t, ok := k.NextEventAt(); ok && t < next {
+			next = t
+		}
+	}
+	if next == math.MaxInt64 {
+		return false
+	}
+	e.deadline = next + e.lookahead - 1
+	e.windows++
+	if e.serialized > 0 {
+		e.stepMerged()
+		return true
+	}
+	if e.workers <= 1 {
+		for _, k := range e.kernels {
+			if t, ok := k.NextEventAt(); ok && t <= e.deadline {
+				k.RunUntil(e.deadline)
+			}
+		}
+		return true
+	}
+	e.startWorkers()
+	n := 0
+	for _, k := range e.kernels {
+		if t, ok := k.NextEventAt(); ok && t <= e.deadline {
+			n++
+		}
+	}
+	e.wg.Add(n)
+	for _, k := range e.kernels {
+		if t, ok := k.NextEventAt(); ok && t <= e.deadline {
+			e.work <- k
+		}
+	}
+	e.wg.Wait()
+	return true
+}
+
+// stepMerged runs one serialized window as an exact global event merge:
+// repeatedly execute the globally earliest head event (ties broken by kernel
+// creation order) until nothing at or before the window edge remains. No
+// kernel ever runs ahead of the merge clock, so an event touching another
+// kernel directly — or posting to it — always lands in that kernel's future,
+// which is what makes recovery choreography legal inside a serialized span.
+func (e *Engine) stepMerged() {
+	for {
+		var kmin *Kernel
+		var tmin Time
+		for _, k := range e.kernels {
+			if t, ok := k.NextEventAt(); ok && t <= e.deadline && (kmin == nil || t < tmin) {
+				tmin, kmin = t, k
+			}
+		}
+		if kmin == nil {
+			e.syncClocks()
+			return
+		}
+		kmin.runHead(e.deadline)
+	}
+}
+
 // Run executes windows until every partition is quiescent (no pending events
 // and no undelivered cross messages) or Stop is called.
 func (e *Engine) Run() {
 	e.stopped.Store(false)
-	var work chan *Kernel
-	var wg sync.WaitGroup
-	if e.workers > 1 {
-		work = make(chan *Kernel)
-		for i := 0; i < e.workers; i++ {
-			go func() {
-				for k := range work {
-					k.RunUntil(e.deadline)
-					wg.Done()
-				}
-			}()
-		}
-		defer close(work)
+	for e.stepWindow() {
 	}
-	for !e.stopped.Load() {
-		e.flush()
-		next := Time(math.MaxInt64)
-		for _, k := range e.kernels {
-			if t, ok := k.NextEventAt(); ok && t < next {
-				next = t
-			}
-		}
-		if next == math.MaxInt64 {
-			return
-		}
-		// The window opens at the globally earliest event: idle stretches
-		// are jumped in one step, exactly like the serial kernel.
-		e.deadline = next + e.lookahead - 1
-		if e.workers <= 1 {
-			for _, k := range e.kernels {
-				if t, ok := k.NextEventAt(); ok && t <= e.deadline {
-					k.RunUntil(e.deadline)
-				}
-			}
-			continue
-		}
-		n := 0
-		for _, k := range e.kernels {
-			if t, ok := k.NextEventAt(); ok && t <= e.deadline {
-				n++
-			}
-		}
-		wg.Add(n)
-		for _, k := range e.kernels {
-			if t, ok := k.NextEventAt(); ok && t <= e.deadline {
-				work <- k
-			}
-		}
-		wg.Wait()
+}
+
+// RunWindows executes at most n windows and reports how many ran (fewer only
+// when the simulation went quiescent or was stopped first). It pauses the
+// world at an exact window barrier — no kernel mid-event, a global order over
+// everything executed so far — which is where the partitioned crash sweep
+// injects crashes; see Windows.
+func (e *Engine) RunWindows(n int) int {
+	e.stopped.Store(false)
+	ran := 0
+	for ran < n && e.stepWindow() {
+		ran++
 	}
+	return ran
+}
+
+// Shutdown tears the deployment down: stops the worker pool and reaps every
+// kernel's parked procs and event pools. Back-to-back deployments in one
+// process previously pinned ~100 MB each, because every proc goroutine left
+// blocked at its resume channel (plus the event free lists keeping payload
+// buffers reachable) survived the deployment. The engine must be paused at a
+// barrier (not running) and cannot be reused afterwards.
+func (e *Engine) Shutdown() {
+	e.stopped.Store(true)
+	if e.workersUp {
+		close(e.work)
+		e.workersUp = false
+	}
+	for _, k := range e.kernels {
+		k.Shutdown()
+	}
+	for i := range e.outboxes {
+		e.outboxes[i] = nil
+	}
+	e.merged = nil
 }
 
 // flush delivers buffered cross messages into their destination kernels in

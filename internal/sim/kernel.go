@@ -134,7 +134,10 @@ type Kernel struct {
 	// current proc, nil while the kernel itself runs an event callback.
 	cur *Proc
 
-	procs   int // live procs, for leak diagnostics
+	procs int // live procs, for leak diagnostics
+	// live registers every spawned proc until its goroutine exits, so
+	// Shutdown can reap procs parked in blocking calls (or never started).
+	live    map[*Proc]struct{}
 	stopped bool
 
 	// eng/engID are set when the kernel is one partition of a multi-kernel
@@ -145,7 +148,7 @@ type Kernel struct {
 
 // New returns a fresh kernel at virtual time zero.
 func New() *Kernel {
-	return &Kernel{handoff: make(chan struct{}), engID: -1}
+	return &Kernel{handoff: make(chan struct{}), engID: -1, live: make(map[*Proc]struct{})}
 }
 
 // Engine returns the multi-kernel engine this kernel belongs to, or nil for
@@ -167,6 +170,36 @@ func (k *Kernel) NextEventAt() (Time, bool) {
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
+
+// runHead pops the single head event if it is at or before deadline,
+// executing it when live and merely recycling it when canceled. It reports
+// whether the head was consumed — the engine's serialized window stepping
+// interleaves kernels one head event at a time to realize an exact global
+// event order (see Engine.Serialize).
+func (k *Kernel) runHead(deadline Time) bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	ev := k.events[0]
+	if ev.at > deadline {
+		return false
+	}
+	k.events.pop()
+	if ev.canceled {
+		k.dead--
+		k.recycle(ev)
+		return true
+	}
+	if ev.at < k.now {
+		panic("sim: event queue went backwards")
+	}
+	k.now = ev.at
+	fn := ev.fn
+	k.recycle(ev)
+	k.fired++
+	fn()
+	return true
+}
 
 // Pending reports the number of live (not canceled) scheduled events.
 func (k *Kernel) Pending() int { return len(k.events) - k.dead }
@@ -321,6 +354,34 @@ func (k *Kernel) RunEvents(n uint64) uint64 {
 
 // Stop makes Run/RunUntil return after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
+
+// Shutdown kills every live proc and releases the kernel's event pools so a
+// finished deployment stops pinning memory. Each proc goroutine is parked at
+// its resume channel (in a blocking call, or at spawn if it never started);
+// Shutdown resumes it with the kill flag set, which unwinds it synchronously
+// on the caller's goroutine — when Shutdown returns, no proc goroutine
+// remains. A proc whose deferred cleanup blocks again is simply re-reaped on
+// the next loop iteration. Must not be called from inside the simulation.
+func (k *Kernel) Shutdown() {
+	if k.cur != nil {
+		panic("sim: Shutdown from inside the simulation")
+	}
+	for len(k.live) > 0 {
+		var p *Proc
+		for q := range k.live {
+			p = q
+			break
+		}
+		p.killed = true
+		p.waitGen++
+		p.waiting = false
+		k.schedule(p) // resume → kill unwind → exit path removes p from live
+	}
+	k.events = nil
+	k.free = nil
+	k.dead = 0
+	k.stopped = true
+}
 
 // RunFor runs for d of virtual time from now.
 func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now.Add(d)) }

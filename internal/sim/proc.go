@@ -49,6 +49,7 @@ func (k *Kernel) GoAt(t Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{K: k, Name: name, resume: make(chan struct{})}
 	p.wakeFn = func() { k.schedule(p) }
 	k.procs++
+	k.live[p] = struct{}{}
 	go func() {
 		<-p.resume // wait for first scheduling
 		if !p.killed {
@@ -66,6 +67,7 @@ func (k *Kernel) GoAt(t Time, name string, fn func(p *Proc)) *Proc {
 		}
 		p.dead = true
 		p.K.procs--
+		delete(p.K.live, p)
 		p.K.cur = nil
 		p.K.handoff <- struct{}{}
 	}()
