@@ -25,6 +25,16 @@ type ScalePoint struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	Speedup      float64 `json:"speedup"`
 	Fingerprint  string  `json:"fingerprint"`
+	// Coordination counters (deterministic at any worker count): total
+	// conservative windows, windows fused into solo stretches, idle kernel
+	// dispatches skipped, windows that entered the worker barrier, and the
+	// cross-transfer slab hit rate (percent of crossings served from a
+	// pooled envelope).
+	Windows      uint64  `json:"windows"`
+	FusedWindows uint64  `json:"fused_windows"`
+	IdleSkips    uint64  `json:"idle_skips"`
+	Barriers     uint64  `json:"barriers"`
+	SlabHitPct   float64 `json:"slab_hit_pct"`
 }
 
 // ScaleResult is the scaling figure plus its determinism verdict.
@@ -82,6 +92,7 @@ func (o Options) ParallelScale(workerCounts []int) (*ScaleResult, error) {
 			return nil, fmt.Errorf("bench: scale workers=%d: errors=%d badReads=%d", w, lr.Errors, lr.BadReads)
 		}
 		cerr := c.CheckConsistency()
+		windows, fusedW, idleSkips, barriers, slabHits, slabMisses := c.CoordStats()
 		// Reap the rung's deployment before the next one: each parked-proc
 		// set otherwise survives the ladder (~100 MB per deployment).
 		c.Eng.Shutdown()
@@ -89,11 +100,18 @@ func (o Options) ParallelScale(workerCounts []int) (*ScaleResult, error) {
 			return nil, fmt.Errorf("bench: scale workers=%d: %w", w, cerr)
 		}
 		pt := ScalePoint{
-			Workers:     w,
-			WallMS:      float64(wall.Microseconds()) / 1e3,
-			Events:      c.Eng.Fired(),
-			Crossed:     c.Eng.Crossed(),
-			Fingerprint: fmt.Sprintf("%016x", lr.Fingerprint()),
+			Workers:      w,
+			WallMS:       float64(wall.Microseconds()) / 1e3,
+			Events:       c.Eng.Fired(),
+			Crossed:      c.Eng.Crossed(),
+			Fingerprint:  fmt.Sprintf("%016x", lr.Fingerprint()),
+			Windows:      windows,
+			FusedWindows: fusedW,
+			IdleSkips:    idleSkips,
+			Barriers:     barriers,
+		}
+		if total := slabHits + slabMisses; total > 0 {
+			pt.SlabHitPct = 100 * float64(slabHits) / float64(total)
 		}
 		if wall > 0 {
 			pt.EventsPerSec = float64(pt.Events) / wall.Seconds()
@@ -103,7 +121,9 @@ func (o Options) ParallelScale(workerCounts []int) (*ScaleResult, error) {
 			if pt.WallMS > 0 {
 				pt.Speedup = base.WallMS / pt.WallMS
 			}
-			if pt.Fingerprint != base.Fingerprint || pt.Events != base.Events {
+			if pt.Fingerprint != base.Fingerprint || pt.Events != base.Events ||
+				pt.Windows != base.Windows || pt.FusedWindows != base.FusedWindows ||
+				pt.IdleSkips != base.IdleSkips || pt.Barriers != base.Barriers {
 				res.Deterministic = false
 			}
 		} else {
@@ -119,9 +139,10 @@ func (r *ScaleResult) Table() Table {
 	t := Table{
 		Title: fmt.Sprintf("parallel kernel scaling (%d shards x %d replicas, %d gateways, %d partitions, GOMAXPROCS=%d)",
 			r.Shards, r.Replicas, r.Gateways, r.Partitions, r.MaxProcs),
-		Header: []string{"workers", "wall_ms", "events", "crossed", "events/sec", "speedup", "fingerprint"},
+		Header: []string{"workers", "wall_ms", "events", "crossed", "events/sec", "speedup", "windows", "fused", "skips", "barriers", "slab%", "fingerprint"},
 		Notes: "identical fingerprints across workers = the determinism contract holds; " +
-			"speedup needs real cores (GOMAXPROCS>1) to materialize",
+			"speedup needs real cores (GOMAXPROCS>1) to materialize; " +
+			"fused/skips/barriers/slab are worker-count-invariant coordination counters",
 	}
 	for _, p := range r.Points {
 		t.Rows = append(t.Rows, []string{
@@ -131,6 +152,11 @@ func (r *ScaleResult) Table() Table {
 			fmt.Sprintf("%d", p.Crossed),
 			fmt.Sprintf("%.0f", p.EventsPerSec),
 			fmt.Sprintf("%.2fx", p.Speedup),
+			fmt.Sprintf("%d", p.Windows),
+			fmt.Sprintf("%d", p.FusedWindows),
+			fmt.Sprintf("%d", p.IdleSkips),
+			fmt.Sprintf("%d", p.Barriers),
+			fmt.Sprintf("%.1f", p.SlabHitPct),
 			p.Fingerprint,
 		})
 	}

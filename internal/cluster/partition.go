@@ -104,6 +104,17 @@ type PCluster struct {
 	Groups   []*PGroup
 }
 
+// CoordStats reports the deployment's window-coordination counters: how
+// many conservative windows ran, how many of those fused (solo-kernel
+// windows executed without a barrier), how many idle kernel dispatches were
+// skipped, how many windows actually entered the worker barrier, and the
+// cross-transfer slab hit rate. All values are deterministic at any worker
+// count; read them after the load completes, before Shutdown.
+func (c *PCluster) CoordStats() (windows, fused, idleSkips, barriers uint64, slabHits, slabMisses int64) {
+	slabHits, slabMisses = c.Net.XferSlabStats()
+	return c.Eng.Windows(), c.Eng.Fused(), c.Eng.IdleSkips(), c.Eng.Barriers(), slabHits, slabMisses
+}
+
 // NewPartitioned builds the partitioned cluster on a fresh engine with the
 // given worker count. The engine's lookahead is the fabric's one-way
 // propagation delay — the minimum cross-partition latency, so no message can

@@ -1,0 +1,38 @@
+package crashcheck
+
+import (
+	"testing"
+
+	"prdma/internal/sim"
+)
+
+// TestPartitionedSweepFusionStable pins the (seed, window) repro contract
+// across the engine's window-fusion optimization: fusion changes how windows
+// execute (solo stretches run without barriers), never which events the
+// i-th window covers, so the identical sweep — same crash windows, same
+// failover work, same verdicts — must come out of a fusion-off and a
+// fusion-on run. A minimal repro recorded before the optimization replays
+// identically after it, and vice versa.
+func TestPartitionedSweepFusionStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partitioned sweep is seconds-long")
+	}
+	defer sim.SetDefaultWindowFusion(true)
+
+	cfg := DefaultPartitionedConfig(5)
+	cfg.Points = 3
+	cfg.SecondCrashEvery = 2
+	cfg.Workers = 2
+
+	sim.SetDefaultWindowFusion(false)
+	off := PartitionedSweep(cfg)
+	sim.SetDefaultWindowFusion(true)
+	on := PartitionedSweep(cfg)
+
+	if off.Windows != on.Windows || off.Failovers != on.Failovers ||
+		off.Resyncs != on.Resyncs || off.Shipped != on.Shipped ||
+		off.Replayed != on.Replayed || off.ViolationCount != on.ViolationCount ||
+		off.Points != on.Points {
+		t.Fatalf("sweep not fusion-stable:\n  fusion=off %+v\n  fusion=on  %+v", off, on)
+	}
+}

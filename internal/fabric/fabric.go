@@ -87,6 +87,11 @@ type Network struct {
 	inj         *Injector
 	partitioned bool
 
+	// reclaim indexes dirty cross-transfer slabs by destination partition;
+	// the engine flush hook drains it at every window barrier (see xfer.go).
+	reclaim [][]*xferDir
+	hooked  bool
+
 	// Stats. Dropped is the total; DroppedFault counts losses the model
 	// injected (DropProb and fault-injector partitions/bursts) and
 	// DroppedDown counts messages that reached a down or handlerless
@@ -98,6 +103,10 @@ type Network struct {
 	Duplicated   int64
 	Reordered    int64
 	BytesSent    int64
+	// XferReused / XferAllocs count cross-partition transfer envelopes
+	// served from a slab vs freshly allocated (see XferSlabStats).
+	XferReused int64
+	XferAllocs int64
 }
 
 // New returns an empty network.
@@ -135,6 +144,9 @@ type Endpoint struct {
 	// allocated and recycled on its source's kernel, and cross-partition
 	// messages bypass the pool entirely.
 	msgFree []*pooledMsg
+	// xfer pools cross-partition transfer envelopes, indexed by destination
+	// partition (see xfer.go).
+	xfer []*xferDir
 }
 
 // Attach creates an endpoint on the network's own kernel. The handler runs
@@ -166,6 +178,15 @@ func (n *Network) AttachOn(k *sim.Kernel, name string, handler func(at sim.Time,
 			panic("fabric: fault injection and random congestion require a single-kernel network (shared rng)")
 		}
 		n.partitioned = true
+	}
+	if eng := k.Engine(); eng != nil {
+		// Size the transfer-slab reclaim index for this partition and hook
+		// the slab recycler into the engine's window barrier (once).
+		n.growReclaim(k.Partition())
+		if !n.hooked {
+			eng.AddFlushHook(n.reclaimXfer)
+			n.hooked = true
+		}
 	}
 	e := &Endpoint{Name: name, Net: n, k: k, tx: sim.NewResource(k), up: true, handler: handler, lastArrive: make(map[string]sim.Time)}
 	n.endpoints[name] = e
@@ -247,11 +268,11 @@ func (e *Endpoint) Send(m *Message) sim.Time {
 		panic(fmt.Sprintf("fabric: send to unknown endpoint %q", m.To))
 	}
 	if dst.k != e.k {
-		// Cross-partition: detach the payload from the source's pools and
-		// hand delivery to the engine barrier (faults never reach here —
-		// they are rejected on partitioned networks, so no dup/reorder).
-		cm := &Message{From: m.From, To: m.To, Size: m.Size, Payload: transferPayload(m.Payload)}
-		e.k.Engine().Post(e.k, dst.k, arrive, func() { dst.deliverCross(arrive, cm) })
+		// Cross-partition: detach the payload from the source's pools into a
+		// pooled transfer envelope and hand delivery to the engine barrier
+		// (faults never reach here — they are rejected on partitioned
+		// networks, so no dup/reorder).
+		e.postCross(dst, arrive, m.To, m.Size, m.Payload)
 		return txDone
 	}
 	deliver := func(at sim.Time) {
@@ -275,14 +296,6 @@ func (e *Endpoint) Send(m *Message) sim.Time {
 func (n *Network) countDrop(attr *int64) {
 	atomic.AddInt64(&n.Dropped, 1)
 	atomic.AddInt64(attr, 1)
-}
-
-// transferPayload deep-copies a payload for a partition crossing.
-func transferPayload(p interface{}) interface{} {
-	if t, ok := p.(Transferable); ok {
-		return t.CloneForTransfer()
-	}
-	return p
 }
 
 // deliverCross runs on the destination partition's kernel at arrival time.
@@ -396,14 +409,12 @@ func (e *Endpoint) SendPooled(to string, size int, payload interface{}, release 
 		panic(fmt.Sprintf("fabric: send to unknown endpoint %q", to))
 	}
 	if dst.k != e.k {
-		// Cross-partition: deep-copy the payload, then finish the envelope
-		// immediately — the sender's release fires at send time, which is
-		// legal because the copy means its buffers are no longer needed.
-		// The allocation per crossing is the price of partition isolation;
-		// intra-partition traffic stays pooled and alloc-free.
-		cm := &Message{From: pm.From, To: to, Size: size, Payload: transferPayload(payload)}
+		// Cross-partition: clone the payload into a pooled transfer envelope
+		// (before finish — the sender's release may reuse its buffers), then
+		// finish this envelope immediately: release fires at send time, which
+		// is legal because the clone detaches the sender's buffers.
+		e.postCross(dst, arrive, to, size, payload)
 		pm.finish()
-		e.k.Engine().Post(e.k, dst.k, arrive, func() { dst.deliverCross(arrive, cm) })
 		return txDone
 	}
 	pm.dst, pm.arrive = dst, arrive

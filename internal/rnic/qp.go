@@ -176,7 +176,7 @@ func (j *retryJob) attempt() {
 	j.m.ref()
 	n.post(q.remoteNIC, j.m, j.size)
 	j.tries++
-	n.K.AfterFunc(n.Params.RetransmitInterval, j.fn)
+	n.K.AfterFuncMonotonic(n.Params.RetransmitInterval, j.fn)
 }
 
 // reliablePost transmits an RC message and retransmits it every

@@ -58,6 +58,10 @@ type wireMsg struct {
 	nic       *NIC
 	refs      int
 	releaseFn func() // pre-bound unref, handed to the fabric as release hook
+	// xrel marks a pooled transfer clone (CloneForTransferPooled): it fires
+	// when the receiver's last reference drops, returning the clone's slab
+	// envelope — and with it this struct — to the fabric for reuse.
+	xrel func()
 }
 
 // newWireMsg returns a pooled message with one reference, owned by the
@@ -93,16 +97,47 @@ func (m *wireMsg) CloneForTransfer() interface{} {
 	return c
 }
 
-// ref and unref are no-ops for caller-constructed (unpooled) messages,
-// which have no owning pool and are garbage-collected as before.
+// CloneForTransferPooled implements fabric.TransferPooled: like
+// CloneForTransfer, but the clone struct recycles through the fabric's
+// transfer slab. prev is the clone this slab slot carried on its previous
+// crossing (nil on the first); its struct is reused, but Data/Tail are
+// always copied fresh — receivers retain those slices past the reference
+// count (deferred PCIe applies, Arrival/Recv channel pushes, read futures),
+// so buffer reuse would corrupt messages still being consumed. The clone
+// carries one reference for the in-flight delivery; receiver-side ref/unref
+// count it like a pool-owned message, and release fires at zero.
+func (m *wireMsg) CloneForTransferPooled(prev interface{}, release func()) interface{} {
+	c, _ := prev.(*wireMsg)
+	if c == nil {
+		c = &wireMsg{}
+	}
+	*c = *m
+	c.nic, c.refs, c.releaseFn = nil, 1, nil
+	c.xrel = release
+	if m.Data != nil {
+		c.Data = append([]byte(nil), m.Data...)
+	}
+	if m.Tail != nil {
+		c.Tail = append([]byte(nil), m.Tail...)
+	}
+	return c
+}
+
+// DropTransferRef implements fabric.TransferRef (the fabric's delivery
+// reference on a pooled clone).
+func (m *wireMsg) DropTransferRef() { m.unref() }
+
+// ref and unref count references for pool-owned messages and pooled
+// transfer clones; they are no-ops for caller-constructed (unpooled)
+// messages, which have no owner and are garbage-collected as before.
 func (m *wireMsg) ref() {
-	if m.nic != nil {
+	if m.nic != nil || m.xrel != nil {
 		m.refs++
 	}
 }
 
 func (m *wireMsg) unref() {
-	if m.nic == nil {
+	if m.nic == nil && m.xrel == nil {
 		return
 	}
 	m.refs--
@@ -111,6 +146,13 @@ func (m *wireMsg) unref() {
 	}
 	if m.refs < 0 {
 		panic("rnic: wireMsg over-released")
+	}
+	if rel := m.xrel; rel != nil {
+		// Pooled transfer clone: drop the buffer views (fresh copies come
+		// with the next crossing) and hand the struct back to its slab slot.
+		m.Data, m.Tail, m.xrel = nil, nil, nil
+		rel()
+		return
 	}
 	*m = wireMsg{nic: m.nic, releaseFn: m.releaseFn}
 	m.nic.wmFree = append(m.nic.wmFree, m)

@@ -6,84 +6,109 @@ import "time"
 // simulation analogue of a Go channel: Push never blocks (queues are
 // unbounded; back-pressure is modelled explicitly where the paper models
 // it), Pop blocks the calling proc until an item is available.
+//
+// The queue is consumed through a head index (like Cond's waiter list) so
+// the backing array survives drain/refill cycles: steady-state Push/Pop
+// traffic reuses capacity instead of allocating. The Cond is embedded by
+// value — a Chan is one heap object, not two.
 type Chan[T any] struct {
 	k     *Kernel
+	head  int
 	items []T
-	cond  *Cond
+	cond  Cond
 }
 
 // NewChan returns an empty queue bound to kernel k.
 func NewChan[T any](k *Kernel) *Chan[T] {
-	return &Chan[T]{k: k, cond: NewCond(k)}
+	c := &Chan[T]{k: k}
+	c.cond.K = k
+	return c
 }
 
 // Push appends v and wakes one waiting proc.
 func (c *Chan[T]) Push(v T) {
+	if c.head > 0 && c.head == len(c.items) {
+		c.items = c.items[:0]
+		c.head = 0
+	}
 	c.items = append(c.items, v)
 	c.cond.Signal()
 }
 
+// popFront removes and returns the head item; the queue must be non-empty.
+func (c *Chan[T]) popFront() T {
+	v := c.items[c.head]
+	var zero T
+	c.items[c.head] = zero // drop the reference for GC
+	c.head++
+	if c.head == len(c.items) {
+		c.items = c.items[:0]
+		c.head = 0
+	}
+	return v
+}
+
 // Pop removes and returns the head item, blocking p until one is available.
 func (c *Chan[T]) Pop(p *Proc) T {
-	for len(c.items) == 0 {
+	for c.Len() == 0 {
 		c.cond.Wait(p)
 	}
-	v := c.items[0]
-	c.items = c.items[1:]
-	return v
+	return c.popFront()
 }
 
 // PopTimeout is like Pop but gives up after d. ok is false on timeout.
 func (c *Chan[T]) PopTimeout(p *Proc, d time.Duration) (v T, ok bool) {
 	deadline := p.K.Now().Add(d)
-	for len(c.items) == 0 {
+	for c.Len() == 0 {
 		remain := deadline.Sub(p.K.Now())
 		if remain <= 0 {
 			return v, false
 		}
-		if !c.cond.WaitTimeout(p, remain) && len(c.items) == 0 {
+		if !c.cond.WaitTimeout(p, remain) && c.Len() == 0 {
 			return v, false
 		}
 	}
-	v = c.items[0]
-	c.items = c.items[1:]
-	return v, true
+	return c.popFront(), true
 }
 
 // TryPop removes and returns the head item without blocking.
 func (c *Chan[T]) TryPop() (v T, ok bool) {
-	if len(c.items) == 0 {
+	if c.Len() == 0 {
 		return v, false
 	}
-	v = c.items[0]
-	c.items = c.items[1:]
-	return v, true
+	return c.popFront(), true
 }
 
 // Len returns the number of queued items.
-func (c *Chan[T]) Len() int { return len(c.items) }
+func (c *Chan[T]) Len() int { return len(c.items) - c.head }
 
 // Drain removes and returns all queued items.
 func (c *Chan[T]) Drain() []T {
-	out := c.items
+	out := c.items[c.head:]
 	c.items = nil
+	c.head = 0
 	return out
 }
 
 // Future is a one-shot completion carrying a value of type T. It is used
 // for work completions: the producer calls Complete once, any number of
-// procs may Wait.
+// procs may Wait. The Cond is embedded by value and the first Then callback
+// lives in an inline slot, so the common RPC round trip (one future, one
+// completion callback) costs a single allocation.
 type Future[T any] struct {
-	k    *Kernel
-	done bool
-	val  T
-	cond *Cond
-	then []func(T)
+	k     *Kernel
+	done  bool
+	val   T
+	cond  Cond
+	then0 func(T)
+	then  []func(T)
 }
 
 // NewFuture returns an incomplete future.
 func NewFuture[T any](k *Kernel) *Future[T] {
-	return &Future[T]{k: k, cond: NewCond(k)}
+	f := &Future[T]{k: k}
+	f.cond.K = k
+	return f
 }
 
 // Complete resolves the future. Completing twice panics: completions in the
@@ -95,6 +120,10 @@ func (f *Future[T]) Complete(v T) {
 	f.done = true
 	f.val = v
 	f.cond.Broadcast()
+	if fn := f.then0; fn != nil {
+		f.then0 = nil
+		fn(v)
+	}
 	for _, fn := range f.then {
 		fn(v)
 	}
@@ -106,6 +135,10 @@ func (f *Future[T]) Complete(v T) {
 func (f *Future[T]) Then(fn func(T)) {
 	if f.done {
 		fn(f.val)
+		return
+	}
+	if f.then0 == nil && len(f.then) == 0 {
+		f.then0 = fn
 		return
 	}
 	f.then = append(f.then, fn)
@@ -145,12 +178,14 @@ func (f *Future[T]) WaitTimeout(p *Proc, d time.Duration) (v T, ok bool) {
 type WaitGroup struct {
 	k    *Kernel
 	n    int
-	cond *Cond
+	cond Cond
 }
 
 // NewWaitGroup returns a WaitGroup bound to kernel k.
 func NewWaitGroup(k *Kernel) *WaitGroup {
-	return &WaitGroup{k: k, cond: NewCond(k)}
+	w := &WaitGroup{k: k}
+	w.cond.K = k
+	return w
 }
 
 // Add increments the counter by delta.

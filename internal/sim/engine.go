@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,7 +26,7 @@ import (
 //     (merged in canonical (time, source-partition, emission-index) order,
 //     so destination sequence numbers — the tie-break — are reproducible),
 //  2. find the earliest pending event across all kernels; call it T,
-//  3. run every kernel up to the window edge T+lookahead-1, in parallel,
+//  3. run every kernel with work up to the window edge T+lookahead-1,
 //  4. barrier, go to 1.
 //
 // Step 3 is safe because a message sent at time s >= T arrives at
@@ -35,36 +36,72 @@ import (
 // and everything that crosses between them is ordered by data, not by
 // execution order. That is the engine's contract — byte-identical output at
 // a fixed seed for any number of workers, including one.
+//
+// Coordination tax. Steady-state windows avoid almost all of the loop above:
+// a window whose only active kernel cannot interact with anyone is *fused*
+// with its successors and run back-to-back on the coordinator (see fuse),
+// idle kernels are never dispatched, and multi-kernel windows use a
+// generation barrier (two atomics per worker per window) over statically
+// sharded kernels instead of channel sends. None of this changes what a
+// window *is*: the window counter, the delivery order, and the state at
+// every window boundary are bit-identical whether or not windows fuse.
 type Engine struct {
 	kernels   []*Kernel
 	lookahead Time
 	workers   int
 
 	// deadline is the inclusive edge of the window being executed; workers
-	// read it (written by the coordinator strictly before dispatch).
+	// read it (written by the coordinator strictly before the barrier
+	// release, so the generation bump publishes it).
 	deadline Time
 	// outboxes holds cross-partition messages: one slot per source kernel,
 	// appended only by events running on that kernel.
 	outboxes [][]crossMsg
-	merged   []crossMsg // flush scratch, reused across windows
 
-	// work/wg form the persistent worker pool, created lazily on the first
-	// parallel window and torn down by Shutdown. workersUp guards both.
-	work      chan *Kernel
-	wg        sync.WaitGroup
+	// Barrier worker pool (lazily started, torn down by Shutdown). The
+	// coordinator owns shard 0; helper i owns shards[i]. A window is opened
+	// by bumping barGen (helpers spin briefly, then park on barCond) and
+	// closed when barDone reaches helpers.
+	shards    [][]*Kernel
+	helpers   int
+	barGen    atomic.Uint64
+	barDone   atomic.Int64
+	barQuit   atomic.Bool
+	sleepers  atomic.Int64
+	barMu     sync.Mutex
+	barCond   *sync.Cond
+	hwg       sync.WaitGroup
 	workersUp bool
 
-	// serialized is a nesting counter: while positive, windows execute the
-	// kernels sequentially on the stepping goroutine in creation order —
-	// exactly the workers<=1 code path. Crash/recovery spans hold a token
-	// per crashed replica so recovery procs see one global event order.
-	// Written only by the stepping goroutine (driver context at a window
-	// barrier, or an event inside a serialized window).
+	// serialized is a nesting counter: while positive, windows execute as an
+	// exact global event merge on the stepping goroutine (see stepMerged).
+	// Crash/recovery spans hold a token per crashed replica so recovery
+	// procs see one global event order. Written only by the stepping
+	// goroutine (driver context at a window barrier, or an event inside a
+	// serialized window).
 	serialized int
+
+	// fusion gates window fusion (on by default); SetWindowFusion turns it
+	// off for before/after comparisons. Fusion never changes simulation
+	// results, only how many barriers realize the same windows.
+	fusion bool
+
+	// hooks run at every window barrier's flush, in coordinator context with
+	// all kernels quiesced (see AddFlushHook).
+	hooks []func()
 
 	stopped atomic.Bool
 	crossed uint64 // cross-partition messages delivered
 	windows uint64 // windows executed; the partitioned crash coordinate
+
+	// Coordination counters (deterministic at any worker count).
+	fused     uint64 // windows executed inside fused stretches
+	idleSkips uint64 // kernel dispatches skipped because the kernel was idle
+	barriers  uint64 // windows that needed more than one kernel
+
+	// flush scratch for the k-way outbox merge, reused across windows.
+	mergeSrcs  []int
+	mergeHeads []int
 }
 
 type crossMsg struct {
@@ -72,6 +109,15 @@ type crossMsg struct {
 	at  Time
 	fn  func()
 }
+
+// windowFusionDefault seeds the fusion flag of new engines. Tests flip it
+// via SetDefaultWindowFusion for before/after comparisons; it is not safe to
+// change concurrently with engine construction.
+var windowFusionDefault = true
+
+// SetDefaultWindowFusion sets whether newly created engines fuse windows.
+// A test knob: production engines always run with fusion on.
+func SetDefaultWindowFusion(on bool) { windowFusionDefault = on }
 
 // NewEngine returns an engine with the given lookahead (the minimum
 // cross-partition delay any Post will honor) and worker goroutine count.
@@ -84,7 +130,7 @@ func NewEngine(lookahead time.Duration, workers int) *Engine {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Engine{lookahead: Time(lookahead), workers: workers, deadline: -1}
+	return &Engine{lookahead: Time(lookahead), workers: workers, deadline: -1, fusion: windowFusionDefault}
 }
 
 // NewKernel adds a partition to the engine and returns its kernel.
@@ -123,10 +169,36 @@ func (e *Engine) Crossed() uint64 { return e.crossed }
 // boundary is a global barrier — no kernel is mid-event, every delivered
 // cross message is in a destination queue — so the window index is a stable,
 // enumerable coordinate for external intervention: with identical inputs the
-// i-th window covers the same events in every run, at any worker count. The
-// partitioned crash sweep crashes "at window i" the way the serial sweep
-// crashes "after event i".
+// i-th window covers the same events in every run, at any worker count and
+// with fusion on or off. The partitioned crash sweep crashes "at window i"
+// the way the serial sweep crashes "after event i".
 func (e *Engine) Windows() uint64 { return e.windows }
+
+// Fused reports how many windows ran inside fused stretches: consecutive
+// solo-kernel windows executed back-to-back without re-scanning the world.
+func (e *Engine) Fused() uint64 { return e.fused }
+
+// IdleSkips reports how many per-window kernel dispatches were skipped
+// because the kernel had no event inside the window.
+func (e *Engine) IdleSkips() uint64 { return e.idleSkips }
+
+// Barriers reports how many windows had more than one active kernel — the
+// windows that actually pay for multi-worker coordination.
+func (e *Engine) Barriers() uint64 { return e.barriers }
+
+// SetWindowFusion enables or disables window fusion on this engine. Fusion
+// only affects how windows are executed, never their contents, indices, or
+// delivery order; the default is on. Call from a window barrier (never from
+// inside an event).
+func (e *Engine) SetWindowFusion(on bool) { e.fusion = on }
+
+// AddFlushHook registers fn to run at every window barrier, immediately
+// before buffered cross messages are delivered (including the mini-barriers
+// inside fused stretches). Hooks run in coordinator context: exactly one
+// goroutine, all kernels quiesced, so they may touch any partition's state.
+// The fabric uses this to recycle cross-transfer slabs whose envelopes were
+// released by destination partitions. Register during setup, before Run.
+func (e *Engine) AddFlushHook(fn func()) { e.hooks = append(e.hooks, fn) }
 
 // Serialize forces subsequent windows to run as an exact global event merge
 // on the stepping goroutine (see stepMerged) — the same total order a single
@@ -220,74 +292,241 @@ func (e *Engine) PostAfterLookahead(src, dst *Kernel, fn func()) {
 // partition's events.
 func (e *Engine) Stop() { e.stopped.Store(true) }
 
-// startWorkers lazily brings up the persistent worker pool. The pool lives
+// startWorkers lazily brings up the barrier worker pool: helpers = workers-1
+// goroutines (capped at one per kernel), each owning a static round-robin
+// shard of the kernels; the coordinator runs shard 0 itself. The pool lives
 // until Shutdown so that window-stepped drivers (RunWindows callers) do not
 // respawn goroutines per call.
 func (e *Engine) startWorkers() {
 	if e.workersUp {
 		return
 	}
-	e.work = make(chan *Kernel)
-	for i := 0; i < e.workers; i++ {
-		go func() {
-			for k := range e.work {
-				k.RunUntil(e.deadline)
-				e.wg.Done()
-			}
-		}()
+	w := e.workers
+	if w > len(e.kernels) {
+		w = len(e.kernels)
+	}
+	e.helpers = w - 1
+	if e.barCond == nil {
+		e.barCond = sync.NewCond(&e.barMu)
+	}
+	if e.helpers > 0 {
+		e.shards = make([][]*Kernel, w)
+		for i, k := range e.kernels {
+			e.shards[i%w] = append(e.shards[i%w], k)
+		}
+		for i := 1; i <= e.helpers; i++ {
+			e.hwg.Add(1)
+			go e.helperLoop(i)
+		}
 	}
 	e.workersUp = true
 }
 
-// stepWindow executes one conservative window: deliver the previous window's
-// cross messages, open the window at the globally earliest event (idle
-// stretches are jumped in one step, exactly like the serial kernel), run
-// every kernel with work up to the inclusive edge, barrier. Returns false
-// when the simulation is quiescent (no pending events anywhere and nothing
-// buffered) or Stop was called.
-func (e *Engine) stepWindow() bool {
-	if e.stopped.Load() {
-		return false
+// helperLoop is one barrier worker: wait for the coordinator to open a
+// window (a barGen bump), run this shard's kernels that have work inside it,
+// report done. The wait yields for a bounded number of rounds — windows are
+// short — then parks on the condvar so long fused or serialized stretches do
+// not burn a core. The generation bump publishes e.deadline and everything
+// the coordinator wrote before it; barDone publishes this shard's kernel
+// state back.
+func (e *Engine) helperLoop(shard int) {
+	defer e.hwg.Done()
+	seen := uint64(0)
+	for {
+		spins := 0
+		for e.barGen.Load() == seen {
+			if e.barQuit.Load() {
+				return
+			}
+			spins++
+			if spins < 256 {
+				runtime.Gosched()
+				continue
+			}
+			e.barMu.Lock()
+			for e.barGen.Load() == seen && !e.barQuit.Load() {
+				e.sleepers.Add(1)
+				e.barCond.Wait()
+				e.sleepers.Add(-1)
+			}
+			e.barMu.Unlock()
+		}
+		seen = e.barGen.Load()
+		if e.barQuit.Load() {
+			return
+		}
+		dl := e.deadline
+		for _, k := range e.shards[shard] {
+			if t, ok := k.NextEventAt(); ok && t <= dl {
+				k.RunUntil(dl)
+			}
+		}
+		e.barDone.Add(1)
 	}
-	e.flush()
-	next := Time(math.MaxInt64)
+}
+
+// runSerial executes the current window's active kernels on the calling
+// goroutine in creation order — the workers<=1 path, and the fallback when
+// the pool would be empty.
+func (e *Engine) runSerial() {
 	for _, k := range e.kernels {
-		if t, ok := k.NextEventAt(); ok && t < next {
-			next = t
+		if t, ok := k.NextEventAt(); ok && t <= e.deadline {
+			k.RunUntil(e.deadline)
 		}
 	}
-	if next == math.MaxInt64 {
-		return false
-	}
-	e.deadline = next + e.lookahead - 1
-	e.windows++
-	if e.serialized > 0 {
-		e.stepMerged()
-		return true
-	}
-	if e.workers <= 1 {
+}
+
+// stepWindows executes up to budget conservative windows and reports how
+// many ran (fewer only when the simulation went quiescent or was stopped).
+// Each window: deliver the previous window's cross messages, open the window
+// at the globally earliest event (idle stretches are jumped in one step,
+// exactly like the serial kernel), run every kernel with work up to the
+// inclusive edge, barrier. Windows whose only active kernel cannot interact
+// with anyone fuse with their successors (see fuse); windows with several
+// active kernels release the worker barrier.
+func (e *Engine) stepWindows(budget int) int {
+	ran := 0
+	for ran < budget {
+		if e.stopped.Load() {
+			return ran
+		}
+		e.flush()
+		next := Time(math.MaxInt64)
 		for _, k := range e.kernels {
+			if t, ok := k.NextEventAt(); ok && t < next {
+				next = t
+			}
+		}
+		if next == math.MaxInt64 {
+			return ran
+		}
+		e.deadline = next + e.lookahead - 1
+		e.windows++
+		ran++
+		if e.serialized > 0 {
+			e.stepMerged()
+			continue
+		}
+		// Classify the window: count kernels with work inside it, find the
+		// solo active kernel if there is exactly one, and the earliest event
+		// any *other* kernel holds — the fusion horizon.
+		actives := 0
+		var solo *Kernel
+		othersMin := Time(math.MaxInt64)
+		for _, k := range e.kernels {
+			t, ok := k.NextEventAt()
+			if !ok {
+				continue
+			}
+			if t <= e.deadline {
+				actives++
+				if actives == 1 {
+					solo = k
+					continue
+				}
+			}
+			if t < othersMin {
+				othersMin = t
+			}
+		}
+		e.idleSkips += uint64(len(e.kernels) - actives)
+		if actives == 1 {
+			// Solo window: no other kernel can observe anything before the
+			// next barrier, so run it on the coordinator and try to fuse
+			// follow-up windows without re-scanning the world.
+			solo.RunUntil(e.deadline)
+			if e.fusion && ran < budget {
+				ran += e.fuse(solo, othersMin, budget-ran)
+			}
+			continue
+		}
+		e.barriers++
+		if e.workers <= 1 {
+			e.runSerial()
+			continue
+		}
+		e.startWorkers()
+		if e.helpers == 0 {
+			e.runSerial()
+			continue
+		}
+		e.barDone.Store(0)
+		e.barGen.Add(1)
+		if e.sleepers.Load() > 0 {
+			e.barMu.Lock()
+			e.barCond.Broadcast()
+			e.barMu.Unlock()
+		}
+		for _, k := range e.shards[0] {
 			if t, ok := k.NextEventAt(); ok && t <= e.deadline {
 				k.RunUntil(e.deadline)
 			}
 		}
-		return true
-	}
-	e.startWorkers()
-	n := 0
-	for _, k := range e.kernels {
-		if t, ok := k.NextEventAt(); ok && t <= e.deadline {
-			n++
+		for spins := 0; e.barDone.Load() != int64(e.helpers); spins++ {
+			if spins > 64 {
+				runtime.Gosched()
+			}
 		}
 	}
-	e.wg.Add(n)
-	for _, k := range e.kernels {
-		if t, ok := k.NextEventAt(); ok && t <= e.deadline {
-			e.work <- k
+	return ran
+}
+
+// fuse advances the solo kernel k through consecutive windows without
+// barriers or world re-scans, for as long as no other kernel can become
+// active: othersMin is the earliest event any other kernel holds (their
+// queues are frozen — only k runs, and deliveries are buffered), and every
+// message k emits is inspected before the next window opens. Each iteration
+// reproduces one unfused window exactly: deliver the messages the previous
+// window buffered (single source, stable-sorted by time = the canonical
+// (time, source, emission) order), bump the window counter, set the edge,
+// run. Window indices, destination sequence numbers and the state at every
+// boundary are therefore bit-identical to the unfused engine — which is what
+// keeps the partitioned crash sweep's (seed, window) coordinates valid.
+// On exit the last window's messages stay buffered for the outer flush,
+// again exactly like the unfused loop. Returns the number of extra windows
+// executed beyond the entry window.
+func (e *Engine) fuse(k *Kernel, othersMin Time, budget int) int {
+	ran := 0
+	id := k.engID
+	for ran < budget {
+		if e.stopped.Load() || e.serialized > 0 {
+			break
 		}
+		// Earliest pending delivery among the messages k just emitted.
+		box := e.outboxes[id]
+		pend := Time(math.MaxInt64)
+		for i := range box {
+			if box[i].at < pend {
+				pend = box[i].at
+			}
+		}
+		horizon := othersMin
+		if pend < horizon {
+			horizon = pend
+		}
+		next, ok := k.NextEventAt()
+		if !ok || next+e.lookahead-1 >= horizon {
+			// k went quiescent, or someone else would be active in the next
+			// window: fall back to the full loop.
+			break
+		}
+		// The next window belongs to k alone. Deliver the buffered messages
+		// (they all land beyond its edge, on kernels that stay idle) and run.
+		e.runHooks()
+		if len(box) > 0 {
+			e.deliverBox(id)
+			if pend < othersMin {
+				othersMin = pend
+			}
+		}
+		e.windows++
+		e.fused++
+		e.idleSkips += uint64(len(e.kernels) - 1)
+		ran++
+		e.deadline = next + e.lookahead - 1
+		k.RunUntil(e.deadline)
 	}
-	e.wg.Wait()
-	return true
+	return ran
 }
 
 // stepMerged runs one serialized window as an exact global event merge:
@@ -317,7 +556,8 @@ func (e *Engine) stepMerged() {
 // and no undelivered cross messages) or Stop is called.
 func (e *Engine) Run() {
 	e.stopped.Store(false)
-	for e.stepWindow() {
+	const chunk = 1 << 30
+	for e.stepWindows(chunk) == chunk {
 	}
 }
 
@@ -325,14 +565,11 @@ func (e *Engine) Run() {
 // when the simulation went quiescent or was stopped first). It pauses the
 // world at an exact window barrier — no kernel mid-event, a global order over
 // everything executed so far — which is where the partitioned crash sweep
-// injects crashes; see Windows.
+// injects crashes; see Windows. The budget is exact even through fused
+// stretches: fusion stops at the cap, never overshooting the target window.
 func (e *Engine) RunWindows(n int) int {
 	e.stopped.Store(false)
-	ran := 0
-	for ran < n && e.stepWindow() {
-		ran++
-	}
-	return ran
+	return e.stepWindows(n)
 }
 
 // Shutdown tears the deployment down: stops the worker pool and reaps every
@@ -344,7 +581,12 @@ func (e *Engine) RunWindows(n int) int {
 func (e *Engine) Shutdown() {
 	e.stopped.Store(true)
 	if e.workersUp {
-		close(e.work)
+		e.barQuit.Store(true)
+		e.barGen.Add(1)
+		e.barMu.Lock()
+		e.barCond.Broadcast()
+		e.barMu.Unlock()
+		e.hwg.Wait()
 		e.workersUp = false
 	}
 	for _, k := range e.kernels {
@@ -353,47 +595,106 @@ func (e *Engine) Shutdown() {
 	for i := range e.outboxes {
 		e.outboxes[i] = nil
 	}
-	e.merged = nil
+	e.shards = nil
+	e.mergeSrcs, e.mergeHeads = nil, nil
+	e.hooks = nil
+}
+
+// runHooks fires the barrier flush hooks (coordinator context, kernels
+// quiesced).
+func (e *Engine) runHooks() {
+	for _, h := range e.hooks {
+		h()
+	}
+}
+
+// deliverBox delivers one source's buffered messages in canonical order: the
+// per-source box stable-sorted by timestamp preserves emission order within
+// equal times, which for a single source is exactly the global (time,
+// source, emission) order. Entries are zeroed after delivery so the box —
+// scratch that persists across windows — never retains delivered closures or
+// their captured transfer buffers.
+func (e *Engine) deliverBox(src int) {
+	box := e.outboxes[src]
+	sortCrossStable(box)
+	for i := range box {
+		cm := &box[i]
+		cm.dst.Schedule(cm.at, cm.fn)
+		*cm = crossMsg{}
+	}
+	e.crossed += uint64(len(box))
+	e.outboxes[src] = box[:0]
 }
 
 // flush delivers buffered cross messages into their destination kernels in
 // canonical order: ascending timestamp, ties by (source partition, emission
 // index). Destination Schedule assigns the tie-breaking sequence numbers in
 // this order, so the resulting execution order is a pure function of the
-// messages' data — independent of how many workers produced them.
+// messages' data — independent of how many workers produced them. Each
+// source box is nearly sorted already (FIFO egress per endpoint), so the
+// boxes are insertion-sorted in place and k-way merged with ties going to
+// the lowest source index — the same total order a global stable sort of the
+// concatenation produces, without a shared scratch slice.
 func (e *Engine) flush() {
-	m := e.merged[:0]
-	for i, box := range e.outboxes {
-		m = append(m, box...)
-		for j := range box {
-			box[j] = crossMsg{}
+	e.runHooks()
+	srcs := e.mergeSrcs[:0]
+	total := 0
+	for i := range e.outboxes {
+		if n := len(e.outboxes[i]); n > 0 {
+			srcs = append(srcs, i)
+			total += n
 		}
-		e.outboxes[i] = box[:0]
 	}
-	if len(m) == 0 {
+	e.mergeSrcs = srcs
+	if total == 0 {
 		return
 	}
-	sortCrossStable(m)
-	for i := range m {
-		cm := &m[i]
+	if len(srcs) == 1 {
+		e.deliverBox(srcs[0])
+		return
+	}
+	heads := e.mergeHeads[:0]
+	for _, s := range srcs {
+		sortCrossStable(e.outboxes[s])
+		heads = append(heads, 0)
+	}
+	e.mergeHeads = heads
+	for n := 0; n < total; n++ {
+		best := -1
+		var bt Time
+		for si, s := range srcs {
+			h := heads[si]
+			if h >= len(e.outboxes[s]) {
+				continue
+			}
+			// Strict less keeps ties on the earliest source index, which the
+			// ascending srcs scan visits first.
+			if t := e.outboxes[s][h].at; best < 0 || t < bt {
+				best, bt = si, t
+			}
+		}
+		cm := &e.outboxes[srcs[best]][heads[best]]
+		heads[best]++
 		cm.dst.Schedule(cm.at, cm.fn)
 		*cm = crossMsg{}
 	}
-	e.crossed += uint64(len(m))
-	e.merged = m[:0]
+	for _, s := range srcs {
+		e.outboxes[s] = e.outboxes[s][:0]
+	}
+	e.crossed += uint64(total)
 }
 
 // sortCrossStable is a stable insertion/merge sort by timestamp. Cross
-// batches per window are small (bounded by messages in flight), and the
-// concatenation is already sorted per source, so insertion sort with a
-// binary search beats the generic sort for the common sizes.
+// batches per window are small (bounded by messages in flight), and each
+// box is already sorted per endpoint, so insertion sort with a binary
+// search beats the generic sort for the common sizes.
 func sortCrossStable(m []crossMsg) {
 	for i := 1; i < len(m); i++ {
 		if m[i].at >= m[i-1].at {
 			continue
 		}
 		// Binary search the insertion point in the sorted prefix; equal
-		// timestamps insert after, preserving source order (stability).
+		// timestamps insert after, preserving emission order (stability).
 		lo, hi := 0, i
 		for lo < hi {
 			mid := (lo + hi) / 2

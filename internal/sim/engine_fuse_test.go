@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// traceRun executes the property-test workload on a fresh engine and returns
+// the merged trace plus the engine (for counter inspection).
+func traceRun(t *testing.T, nodes int, seed uint64, rounds int, lookahead Time, workers int, fusion bool) (string, *Engine) {
+	t.Helper()
+	e := NewEngine(time.Duration(lookahead), workers)
+	e.SetWindowFusion(fusion)
+	nds := newTraceNodes(nodes, seed, func(int) *Kernel { return e.NewKernel() })
+	runTraceWorkload(nds, rounds, lookahead, func(src, dst *traceNode, at Time, fn func()) {
+		e.Post(src.k, dst.k, at, fn)
+	})
+	e.Run()
+	return mergedTrace(t, nds), e
+}
+
+// TestEngineFusionParity is the fingerprint-parity property test for window
+// fusion: across node counts and seeds, the merged event trace AND the
+// window count must be byte-identical with fusion off and on, at workers
+// 1, 2, 4 and 8. The window count equality is the partitioned crashcheck's
+// contract — fusion must never renumber the (seed, window) crash coordinate.
+func TestEngineFusionParity(t *testing.T) {
+	const rounds = 30
+	for _, nodes := range []int{1, 3, 5} {
+		for _, seed := range []uint64{1, 0xdecafbad} {
+			lookahead := Time(nodes * (nodes + 1) * 16)
+			want, base := traceRun(t, nodes, seed, rounds, lookahead, 1, false)
+			wantWin := base.Windows()
+			fusedAny := false
+			for _, workers := range []int{1, 2, 4, 8} {
+				got, e := traceRun(t, nodes, seed, rounds, lookahead, workers, true)
+				if got != want {
+					t.Fatalf("nodes=%d seed=%d workers=%d: fused trace diverged from unfused", nodes, seed, workers)
+				}
+				if e.Windows() != wantWin {
+					t.Fatalf("nodes=%d seed=%d workers=%d: fused windows=%d, unfused=%d — crash coordinates renumbered",
+						nodes, seed, workers, e.Windows(), wantWin)
+				}
+				if e.Fused() > 0 {
+					fusedAny = true
+				}
+				if e.Fused()+e.Barriers() > e.Windows() {
+					t.Fatalf("counter overlap: fused=%d barriers=%d windows=%d", e.Fused(), e.Barriers(), e.Windows())
+				}
+			}
+			if nodes > 1 && !fusedAny {
+				t.Logf("nodes=%d seed=%d: no window fused (workload too dense) — parity still verified", nodes, seed)
+			}
+		}
+	}
+}
+
+// TestEngineRunWindowsExactThroughFusion proves the window budget stays
+// exact when fusion is active: stepping a fused engine in small RunWindows
+// increments must visit exactly the same number of windows as a single Run,
+// with the same final trace — fusion stops at the budget instead of
+// overshooting. This is what keeps crashcheck's stepTo(w) landing exactly on
+// window w.
+func TestEngineRunWindowsExactThroughFusion(t *testing.T) {
+	const nodes, rounds = 4, 30
+	lookahead := Time(nodes * (nodes + 1) * 16)
+	for _, seed := range []uint64{3, 11} {
+		want, base := traceRun(t, nodes, seed, rounds, lookahead, 1, true)
+		wantWin := base.Windows()
+		for _, step := range []int{1, 3, 7} {
+			e := NewEngine(time.Duration(lookahead), 2)
+			e.SetWindowFusion(true)
+			nds := newTraceNodes(nodes, seed, func(int) *Kernel { return e.NewKernel() })
+			runTraceWorkload(nds, rounds, lookahead, func(src, dst *traceNode, at Time, fn func()) {
+				e.Post(src.k, dst.k, at, fn)
+			})
+			total := uint64(0)
+			for {
+				n := e.RunWindows(step)
+				total += uint64(n)
+				if e.Windows() != total {
+					t.Fatalf("seed=%d step=%d: Windows()=%d after %d budgeted windows", seed, step, e.Windows(), total)
+				}
+				if n < step {
+					break
+				}
+			}
+			if total != wantWin {
+				t.Fatalf("seed=%d step=%d: stepped run visited %d windows, Run visited %d", seed, step, total, wantWin)
+			}
+			if got := mergedTrace(t, nds); got != want {
+				t.Fatalf("seed=%d step=%d: stepped trace diverged", seed, step)
+			}
+		}
+	}
+}
+
+// TestEngineFusionSoloKernel pins the pure fused fast path: a single busy
+// kernel beside idle ones must fuse nearly every window into one stretch
+// (no barriers at all), and idle-skip accounting must cover the idle
+// kernels every window.
+func TestEngineFusionSoloKernel(t *testing.T) {
+	e := NewEngine(100*time.Nanosecond, 4)
+	busy := e.NewKernel()
+	e.NewKernel() // idle
+	e.NewKernel() // idle
+	n := 0
+	var tick func()
+	tick = func() {
+		if n++; n < 1000 {
+			busy.Schedule(busy.Now()+37, tick)
+		}
+	}
+	busy.Schedule(0, tick)
+	e.Run()
+	if n != 1000 {
+		t.Fatalf("ran %d ticks, want 1000", n)
+	}
+	if e.Barriers() != 0 {
+		t.Fatalf("solo workload entered %d barriers, want 0", e.Barriers())
+	}
+	if e.Fused() == 0 || e.Fused() >= e.Windows() {
+		t.Fatalf("fused=%d windows=%d: expected almost-all-but-first fused", e.Fused(), e.Windows())
+	}
+	if want := (e.Windows()) * 2; e.IdleSkips() != want {
+		t.Fatalf("idleSkips=%d, want %d (2 idle kernels every window)", e.IdleSkips(), want)
+	}
+}
+
+// TestEngineFusionDeliversInOrder pins lazy delivery: messages emitted by a
+// fused window must be delivered before the destination's next window, in
+// canonical order, even though no global flush ran in between.
+func TestEngineFusionDeliversInOrder(t *testing.T) {
+	la := Time(100)
+	e := NewEngine(time.Duration(la), 1)
+	a, b := e.NewKernel(), e.NewKernel()
+	var got []Time
+	// a runs a long solo stretch (b idle), emitting to b mid-stretch.
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n == 5 || n == 9 {
+			at := a.Now() + la
+			e.Post(a, b, at, func() { got = append(got, b.Now()) })
+		}
+		if n < 50 {
+			a.Schedule(a.Now()+13, tick)
+		}
+	}
+	a.Schedule(0, tick)
+	e.Run()
+	if len(got) != 2 || got[0] >= got[1] {
+		t.Fatalf("cross deliveries out of order or lost: %v", got)
+	}
+	if e.Crossed() != 2 {
+		t.Fatalf("crossed=%d, want 2", e.Crossed())
+	}
+}

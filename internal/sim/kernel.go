@@ -39,28 +39,39 @@ type event struct {
 	canceled bool
 }
 
+// heapSlot is one entry of the event heap. The (at, seq) ordering key is
+// stored inline next to the event pointer so heap comparisons read
+// contiguous slice memory instead of chasing a pointer per compare — the
+// sift paths were cache-miss-bound with a []*event layout. The key is
+// immutable once pushed (cancellation flips flags inside the event, never
+// its timestamp), so the copies cannot go stale.
+type heapSlot struct {
+	at  Time
+	seq uint64
+	ev  *event
+}
+
 // eventHeap is a hand-rolled d-ary min-heap ordered by (at, seq). A 4-ary
 // layout beats both container/heap (interface-call overhead) and a binary
 // layout of the same code (shallower tree, better cache locality on the
 // sift-down path); see BenchmarkKernelEvents in bench_test.go and DESIGN.md
 // for the measurements that picked it.
-type eventHeap []*event
+type eventHeap []heapSlot
 
 // heapArity is the heap branching factor. 4 won the microbenchmark shootout
 // against 2 (see DESIGN.md "Engine performance"); the code works for any
 // arity >= 2 so the experiment is one constant away.
-const heapArity = 4
+const heapArity = 8
 
 func (h eventHeap) less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.at != b.at {
-		return a.at < b.at
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
 	}
-	return a.seq < b.seq
+	return h[i].seq < h[j].seq
 }
 
 func (h *eventHeap) push(ev *event) {
-	*h = append(*h, ev)
+	*h = append(*h, heapSlot{at: ev.at, seq: ev.seq, ev: ev})
 	h.up(len(*h) - 1)
 }
 
@@ -79,9 +90,9 @@ func (h eventHeap) up(i int) {
 func (h *eventHeap) pop() *event {
 	old := *h
 	n := len(old) - 1
-	ev := old[0]
+	ev := old[0].ev
 	old[0] = old[n]
-	old[n] = nil
+	old[n] = heapSlot{}
 	*h = old[:n]
 	if n > 1 {
 		h.down(0)
@@ -119,6 +130,25 @@ type Kernel struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	// nowQ is the fast path for events scheduled at exactly the current
+	// virtual time — Cond wakes, Yields, completion chains. They bypass the
+	// heap on a FIFO ring consumed in (at, seq) order relative to the heap:
+	// every heap entry at the same timestamp was scheduled earlier (lower
+	// seq — a later same-time schedule lands here too, because the clock
+	// cannot advance while the ring is non-empty), so draining the heap
+	// first at equal timestamps reproduces the heap's total order exactly.
+	nowQ    []*event
+	nowHead int
+	// monoQ is the monotone deadline lane: a FIFO for events whose
+	// timestamps are scheduled in non-decreasing order (retransmit timers —
+	// now + a constant interval). Entries are sorted by construction (ties
+	// in seq order, since appends carry increasing seq), so the lane merges
+	// into popNext by an exact (at, seq) head comparison instead of paying
+	// heap sifts. Crucially it also keeps far-future timers out of the
+	// heap: a 100 ms retry timer otherwise sits under every short-fuse
+	// event for the rest of the run, growing the sift depth without bound.
+	monoQ    []*event
+	monoHead int
 	// free is the event free list; dead counts canceled events still
 	// parked in the heap awaiting lazy deletion.
 	free []*event
@@ -162,10 +192,72 @@ func (k *Kernel) Partition() int { return k.engID }
 // NextEventAt reports the timestamp of the earliest scheduled event, if any.
 // Canceled events still parked in the heap count: popping them is progress.
 func (k *Kernel) NextEventAt() (Time, bool) {
-	if len(k.events) == 0 {
-		return 0, false
+	if k.nowHead < len(k.nowQ) {
+		return k.nowQ[k.nowHead].at, true // == now; nothing can be earlier
 	}
-	return k.events[0].at, true
+	hOK, mOK := len(k.events) > 0, k.monoHead < len(k.monoQ)
+	switch {
+	case hOK && mOK:
+		if m := k.monoQ[k.monoHead].at; m < k.events[0].at {
+			return m, true
+		}
+		return k.events[0].at, true
+	case hOK:
+		return k.events[0].at, true
+	case mOK:
+		return k.monoQ[k.monoHead].at, true
+	}
+	return 0, false
+}
+
+// pendingAny reports whether any event (live or canceled) is queued.
+func (k *Kernel) pendingAny() bool {
+	return len(k.events) > 0 || k.nowHead < len(k.nowQ) || k.monoHead < len(k.monoQ)
+}
+
+// popRing pops the head of a FIFO ring, compacting it when it empties.
+func popRing(q *[]*event, head *int) *event {
+	ev := (*q)[*head]
+	(*q)[*head] = nil
+	*head++
+	if *head == len(*q) {
+		*q = (*q)[:0]
+		*head = 0
+	}
+	return ev
+}
+
+// popNext removes and returns the earliest event in (at, seq) order across
+// the heap, the monotone lane, and the now-queue. Heap and lane heads carry
+// their seq and are compared exactly; a now-queue entry loses every same-
+// timestamp tie because it was scheduled latest (see the nowQ invariant).
+func (k *Kernel) popNext() *event {
+	hOK, mOK := len(k.events) > 0, k.monoHead < len(k.monoQ)
+	fromMono := false
+	var bestAt Time
+	switch {
+	case hOK && mOK:
+		m, h := k.monoQ[k.monoHead], &k.events[0]
+		fromMono = m.at < h.at || (m.at == h.at && m.seq < h.seq)
+		if fromMono {
+			bestAt = m.at
+		} else {
+			bestAt = h.at
+		}
+	case hOK:
+		bestAt = k.events[0].at
+	case mOK:
+		fromMono, bestAt = true, k.monoQ[k.monoHead].at
+	default:
+		return popRing(&k.nowQ, &k.nowHead)
+	}
+	if k.nowHead < len(k.nowQ) && k.nowQ[k.nowHead].at < bestAt {
+		return popRing(&k.nowQ, &k.nowHead)
+	}
+	if fromMono {
+		return popRing(&k.monoQ, &k.monoHead)
+	}
+	return k.events.pop()
 }
 
 // Now returns the current virtual time.
@@ -177,14 +269,13 @@ func (k *Kernel) Now() Time { return k.now }
 // interleaves kernels one head event at a time to realize an exact global
 // event order (see Engine.Serialize).
 func (k *Kernel) runHead(deadline Time) bool {
-	if len(k.events) == 0 {
+	if !k.pendingAny() {
 		return false
 	}
-	ev := k.events[0]
-	if ev.at > deadline {
+	if at, _ := k.NextEventAt(); at > deadline {
 		return false
 	}
-	k.events.pop()
+	ev := k.popNext()
 	if ev.canceled {
 		k.dead--
 		k.recycle(ev)
@@ -202,7 +293,9 @@ func (k *Kernel) runHead(deadline Time) bool {
 }
 
 // Pending reports the number of live (not canceled) scheduled events.
-func (k *Kernel) Pending() int { return len(k.events) - k.dead }
+func (k *Kernel) Pending() int {
+	return len(k.events) + len(k.nowQ) - k.nowHead + len(k.monoQ) - k.monoHead - k.dead
+}
 
 // Procs reports the number of live procs.
 func (k *Kernel) Procs() int { return k.procs }
@@ -225,7 +318,15 @@ func (k *Kernel) scheduleEvent(t Time, fn func()) *event {
 		ev = &event{}
 	}
 	ev.at, ev.seq, ev.fn, ev.canceled = t, k.seq, fn, false
-	k.events.push(ev)
+	if t == k.now {
+		if k.nowHead > 0 && k.nowHead == len(k.nowQ) {
+			k.nowQ = k.nowQ[:0]
+			k.nowHead = 0
+		}
+		k.nowQ = append(k.nowQ, ev)
+	} else {
+		k.events.push(ev)
+	}
 	return ev
 }
 
@@ -249,6 +350,38 @@ func (k *Kernel) AfterFunc(d time.Duration, fn func()) {
 		d = 0
 	}
 	k.scheduleEvent(k.now.Add(d), fn)
+}
+
+// AfterFuncMonotonic is AfterFunc for deadlines drawn from a fixed offset —
+// retransmit timers, lease refreshes — where successive calls on a kernel
+// produce non-decreasing timestamps. Such events ride the monotone FIFO lane:
+// O(1) to book and to pop, and they never inflate the heap (a long retry
+// timer would otherwise deepen every sift for the rest of the run). Calls
+// that arrive out of order are legal and simply fall back to the heap.
+func (k *Kernel) AfterFuncMonotonic(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	t := k.now.Add(d)
+	if t == k.now || (k.monoHead < len(k.monoQ) && k.monoQ[len(k.monoQ)-1].at > t) {
+		k.scheduleEvent(t, fn) // now-queue, or out of order: heap fallback
+		return
+	}
+	k.seq++
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.canceled = t, k.seq, fn, false
+	if k.monoHead > 0 && k.monoHead == len(k.monoQ) {
+		k.monoQ = k.monoQ[:0]
+		k.monoHead = 0
+	}
+	k.monoQ = append(k.monoQ, ev)
 }
 
 // At schedules fn to run at virtual time t and returns a cancel handle.
@@ -301,13 +434,12 @@ func (k *Kernel) Run() {
 // is later and events remain).
 func (k *Kernel) RunUntil(deadline Time) {
 	k.stopped = false
-	for len(k.events) > 0 && !k.stopped {
-		ev := k.events[0]
-		if ev.at > deadline {
+	for k.pendingAny() && !k.stopped {
+		if at, _ := k.NextEventAt(); at > deadline {
 			k.now = deadline
 			return
 		}
-		k.events.pop()
+		ev := k.popNext()
 		if ev.canceled {
 			k.dead--
 			k.recycle(ev)
@@ -332,8 +464,8 @@ func (k *Kernel) RunUntil(deadline Time) {
 func (k *Kernel) RunEvents(n uint64) uint64 {
 	k.stopped = false
 	var ran uint64
-	for ran < n && len(k.events) > 0 && !k.stopped {
-		ev := k.events.pop()
+	for ran < n && k.pendingAny() && !k.stopped {
+		ev := k.popNext()
 		if ev.canceled {
 			k.dead--
 			k.recycle(ev)
@@ -378,6 +510,10 @@ func (k *Kernel) Shutdown() {
 		k.schedule(p) // resume → kill unwind → exit path removes p from live
 	}
 	k.events = nil
+	k.nowQ = nil
+	k.nowHead = 0
+	k.monoQ = nil
+	k.monoHead = 0
 	k.free = nil
 	k.dead = 0
 	k.stopped = true

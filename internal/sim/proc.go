@@ -184,8 +184,13 @@ func (p *Proc) waitActive(gen uint64) bool {
 // Signal/Broadcast skip such entries when they surface. This makes the
 // timeout path O(1) and leaves no per-Cond bookkeeping behind for procs
 // that never wait again.
+//
+// The queue is consumed through a head index rather than re-slicing, so the
+// backing array survives drain/refill cycles and steady-state Wait/Signal
+// traffic never allocates.
 type Cond struct {
 	K       *Kernel
+	head    int
 	waiters []condEntry
 }
 
@@ -199,12 +204,37 @@ type condEntry struct {
 // NewCond returns a Cond bound to kernel k.
 func NewCond(k *Kernel) *Cond { return &Cond{K: k} }
 
+// enqueue appends a wait entry, first compacting a fully-consumed queue so
+// the append reuses the existing backing array.
+func (c *Cond) enqueue(e condEntry) {
+	if c.head > 0 && c.head == len(c.waiters) {
+		c.waiters = c.waiters[:0]
+		c.head = 0
+	}
+	c.waiters = append(c.waiters, e)
+}
+
+// dequeue pops the head entry; ok is false when the queue is empty.
+func (c *Cond) dequeue() (e condEntry, ok bool) {
+	if c.head == len(c.waiters) {
+		return condEntry{}, false
+	}
+	e = c.waiters[c.head]
+	c.waiters[c.head] = condEntry{} // drop the proc reference
+	c.head++
+	if c.head == len(c.waiters) {
+		c.waiters = c.waiters[:0]
+		c.head = 0
+	}
+	return e, true
+}
+
 // Wait blocks p until Signal or Broadcast. Spurious wakeups do not occur,
 // but callers typically still re-check their predicate in a loop because
 // another woken proc may consume the state first.
 func (c *Cond) Wait(p *Proc) {
 	gen := p.beginWait()
-	c.waiters = append(c.waiters, condEntry{p, gen})
+	c.enqueue(condEntry{p, gen})
 	p.block()
 	p.endWait()
 }
@@ -213,7 +243,7 @@ func (c *Cond) Wait(p *Proc) {
 // the proc was signaled (false = timeout).
 func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
 	gen := p.beginWait()
-	c.waiters = append(c.waiters, condEntry{p, gen})
+	c.enqueue(condEntry{p, gen})
 	p.K.AfterFunc(d, func() {
 		// Fires for every timed wait; a no-op unless p is still blocked
 		// in this exact wait and unsignaled. The queue entry is left for
@@ -229,9 +259,11 @@ func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
 
 // Signal wakes the longest-waiting proc, if any.
 func (c *Cond) Signal() {
-	for len(c.waiters) > 0 {
-		e := c.waiters[0]
-		c.waiters = c.waiters[1:]
+	for {
+		e, ok := c.dequeue()
+		if !ok {
+			return
+		}
 		if !e.p.waitActive(e.gen) {
 			continue // stale: timed out, killed, dead, or a later wait
 		}
@@ -242,11 +274,14 @@ func (c *Cond) Signal() {
 	}
 }
 
-// Broadcast wakes all waiting procs.
+// Broadcast wakes all waiting procs. Waking only schedules resume events —
+// no proc runs inside the loop — so nothing can enqueue while it drains.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, e := range ws {
+	for {
+		e, ok := c.dequeue()
+		if !ok {
+			return
+		}
 		if !e.p.waitActive(e.gen) {
 			continue
 		}

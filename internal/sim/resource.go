@@ -91,11 +91,15 @@ func (c CostModel) Cost(n int) time.Duration {
 type Mutex struct {
 	k      *Kernel
 	locked bool
-	cond   *Cond
+	cond   Cond
 }
 
 // NewMutex returns an unlocked mutex.
-func NewMutex(k *Kernel) *Mutex { return &Mutex{k: k, cond: NewCond(k)} }
+func NewMutex(k *Kernel) *Mutex {
+	m := &Mutex{k: k}
+	m.cond.K = k
+	return m
+}
 
 // Lock blocks p until the mutex is acquired.
 func (m *Mutex) Lock(p *Proc) {
