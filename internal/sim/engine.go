@@ -58,11 +58,12 @@ type Engine struct {
 	// appended only by events running on that kernel.
 	outboxes [][]crossMsg
 
-	// Barrier worker pool (lazily started, torn down by Shutdown). The
-	// coordinator owns shard 0; helper i owns shards[i]. A window is opened
-	// by bumping barGen (helpers spin briefly, then park on barCond) and
-	// closed when barDone reaches helpers.
+	// Barrier worker pool (lazily started, torn down by Shutdown, restarted
+	// clean by the next startWorkers). The coordinator owns shard 0; helper i
+	// owns shards[i]. A window is opened by bumping barGen (helpers spin
+	// briefly, then park on barCond) and closed when barDone reaches helpers.
 	shards    [][]*Kernel
+	sharded   int // len(kernels) when shards were last built
 	helpers   int
 	barGen    atomic.Uint64
 	barDone   atomic.Int64
@@ -85,6 +86,11 @@ type Engine struct {
 	// off for before/after comparisons. Fusion never changes simulation
 	// results, only how many barriers realize the same windows.
 	fusion bool
+
+	// spin is how many Gosched rounds a helper waits on the generation
+	// before parking on the condvar; fixed at construction (from
+	// barSpinRounds) so helpers never read a mutable global.
+	spin int
 
 	// hooks run at every window barrier's flush, in coordinator context with
 	// all kernels quiesced (see AddFlushHook).
@@ -110,6 +116,19 @@ type crossMsg struct {
 	fn  func()
 }
 
+// barSpinRounds seeds Engine.spin: how many Gosched rounds a helper spins on
+// the generation before parking on the condvar. A var so tests can force the
+// park path (set to 0 around engine construction) and hammer the
+// park/broadcast handshake under -race; like windowFusionDefault it must not
+// change concurrently with engine construction.
+var barSpinRounds = 256
+
+// barStallTimeout bounds the coordinator's wait for helpers to finish a
+// window. Helpers cannot legally disappear mid-window, so hitting it means a
+// lost helper (or a barrier-protocol bug); the coordinator panics with the
+// barrier state instead of spinning silently forever.
+const barStallTimeout = 30 * time.Second
+
 // windowFusionDefault seeds the fusion flag of new engines. Tests flip it
 // via SetDefaultWindowFusion for before/after comparisons; it is not safe to
 // change concurrently with engine construction.
@@ -130,11 +149,13 @@ func NewEngine(lookahead time.Duration, workers int) *Engine {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Engine{lookahead: Time(lookahead), workers: workers, deadline: -1, fusion: windowFusionDefault}
+	return &Engine{lookahead: Time(lookahead), workers: workers, deadline: -1, fusion: windowFusionDefault, spin: barSpinRounds}
 }
 
-// NewKernel adds a partition to the engine and returns its kernel.
-// Partitions must all be created before Run.
+// NewKernel adds a partition to the engine and returns its kernel. Create
+// partitions during setup or at a window barrier (driver context, engine
+// paused) — never from inside an event. Kernels added after the worker pool
+// came up are folded into the shards at the next multi-kernel window.
 func (e *Engine) NewKernel() *Kernel {
 	k := New()
 	k.eng = e
@@ -293,12 +314,17 @@ func (e *Engine) PostAfterLookahead(src, dst *Kernel, fn func()) {
 func (e *Engine) Stop() { e.stopped.Store(true) }
 
 // startWorkers lazily brings up the barrier worker pool: helpers = workers-1
-// goroutines (capped at one per kernel), each owning a static round-robin
-// shard of the kernels; the coordinator runs shard 0 itself. The pool lives
-// until Shutdown so that window-stepped drivers (RunWindows callers) do not
-// respawn goroutines per call.
+// goroutines (capped at one per kernel), each owning a round-robin shard of
+// the kernels; the coordinator runs shard 0 itself. The pool lives until
+// Shutdown so that window-stepped drivers (RunWindows callers) do not respawn
+// goroutines per call; a pool torn down by Shutdown restarts clean here.
+// Called only at a window barrier (no helpers mid-window), so it may also
+// rebuild the shards when kernels were added since the pool came up.
 func (e *Engine) startWorkers() {
 	if e.workersUp {
+		if e.helpers > 0 && e.sharded != len(e.kernels) {
+			e.reshard()
+		}
 		return
 	}
 	w := e.workers
@@ -310,16 +336,36 @@ func (e *Engine) startWorkers() {
 		e.barCond = sync.NewCond(&e.barMu)
 	}
 	if e.helpers > 0 {
-		e.shards = make([][]*Kernel, w)
-		for i, k := range e.kernels {
-			e.shards[i%w] = append(e.shards[i%w], k)
-		}
+		// Fresh pools (including post-Shutdown restarts) must not inherit the
+		// previous pool's barrier state: helpers start at seen=0, so a stale
+		// barGen would open a phantom window, and a stale barQuit would make
+		// them exit before ever reporting barDone.
+		e.barQuit.Store(false)
+		e.barGen.Store(0)
+		e.barDone.Store(0)
+		e.sleepers.Store(0)
+		e.reshard()
 		for i := 1; i <= e.helpers; i++ {
 			e.hwg.Add(1)
 			go e.helperLoop(i)
 		}
 	}
 	e.workersUp = true
+}
+
+// reshard (re)builds the static round-robin kernel shards for the current
+// pool width. Coordinator-only, at a barrier: helpers read e.shards only
+// after observing a barGen bump, which publishes the new slices. The helper
+// count never changes while the pool is up — kernels added late are folded
+// into the existing shards, so they execute in every multi-kernel window
+// just like founding kernels (they may just not add parallelism).
+func (e *Engine) reshard() {
+	w := e.helpers + 1
+	e.shards = make([][]*Kernel, w)
+	for i, k := range e.kernels {
+		e.shards[i%w] = append(e.shards[i%w], k)
+	}
+	e.sharded = len(e.kernels)
 }
 
 // helperLoop is one barrier worker: wait for the coordinator to open a
@@ -339,16 +385,25 @@ func (e *Engine) helperLoop(shard int) {
 				return
 			}
 			spins++
-			if spins < 256 {
+			if spins < e.spin {
 				runtime.Gosched()
 				continue
 			}
+			// Park. sleepers must be raised *before* the gen re-check: both
+			// sides use sequentially consistent atomics, so if the re-check
+			// still sees the old generation, the coordinator's barGen bump is
+			// later in the total order and its sleepers load (later still)
+			// observes the increment and takes the broadcast path. Raising
+			// sleepers after the re-check loses that wakeup — the coordinator
+			// can bump, see sleepers==0, skip the broadcast, and this helper
+			// parks forever. The broadcast itself runs under barMu, so it
+			// cannot fire in the gap between the re-check and Wait.
 			e.barMu.Lock()
+			e.sleepers.Add(1)
 			for e.barGen.Load() == seen && !e.barQuit.Load() {
-				e.sleepers.Add(1)
 				e.barCond.Wait()
-				e.sleepers.Add(-1)
 			}
+			e.sleepers.Add(-1)
 			e.barMu.Unlock()
 		}
 		seen = e.barGen.Load()
@@ -452,6 +507,10 @@ func (e *Engine) stepWindows(budget int) int {
 		}
 		e.barDone.Store(0)
 		e.barGen.Add(1)
+		// The sleepers check elides the mutex when every helper is spinning.
+		// It is race-free against helpers parking: a helper raises sleepers
+		// before its under-lock gen re-check, so a helper that parks on the
+		// old generation is visible here (see helperLoop).
 		if e.sleepers.Load() > 0 {
 			e.barMu.Lock()
 			e.barCond.Broadcast()
@@ -462,13 +521,35 @@ func (e *Engine) stepWindows(budget int) int {
 				k.RunUntil(e.deadline)
 			}
 		}
-		for spins := 0; e.barDone.Load() != int64(e.helpers); spins++ {
-			if spins > 64 {
-				runtime.Gosched()
-			}
-		}
+		e.waitHelpers()
 	}
 	return ran
+}
+
+// waitHelpers spins until every helper reports the open window done. The
+// wait is normally a few iterations — windows are short and helpers are
+// already running — so it stays a spin, but it is bounded: if helpers stop
+// reporting (a lost goroutine, a torn-down pool, a protocol bug) it panics
+// with the barrier state after barStallTimeout rather than hanging the
+// simulation silently.
+func (e *Engine) waitHelpers() {
+	var slowSince time.Time
+	for spins := 0; e.barDone.Load() != int64(e.helpers); spins++ {
+		if spins < 64 {
+			continue
+		}
+		runtime.Gosched()
+		if spins&1023 != 0 {
+			continue
+		}
+		if slowSince.IsZero() {
+			slowSince = time.Now()
+		} else if time.Since(slowSince) > barStallTimeout {
+			panic(fmt.Sprintf(
+				"sim: window barrier stalled: %d/%d helpers reported (gen %d, sleepers %d, quit %v, window %d)",
+				e.barDone.Load(), e.helpers, e.barGen.Load(), e.sleepers.Load(), e.barQuit.Load(), e.windows))
+		}
+	}
 }
 
 // fuse advances the solo kernel k through consecutive windows without
@@ -577,7 +658,9 @@ func (e *Engine) RunWindows(n int) int {
 // process previously pinned ~100 MB each, because every proc goroutine left
 // blocked at its resume channel (plus the event free lists keeping payload
 // buffers reachable) survived the deployment. The engine must be paused at a
-// barrier (not running) and cannot be reused afterwards.
+// barrier (not running). A shut-down engine may be rescheduled and run
+// again: the next Run/RunWindows restarts the worker pool with fresh barrier
+// state (kernel queues and free lists start empty, as after construction).
 func (e *Engine) Shutdown() {
 	e.stopped.Store(true)
 	if e.workersUp {
@@ -595,7 +678,7 @@ func (e *Engine) Shutdown() {
 	for i := range e.outboxes {
 		e.outboxes[i] = nil
 	}
-	e.shards = nil
+	e.shards, e.sharded = nil, 0
 	e.mergeSrcs, e.mergeHeads = nil, nil
 	e.hooks = nil
 }
