@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench harness harness-full examples clean
+.PHONY: all build test vet bench harness harness-full pmpool examples clean
 
 all: build vet test
 
@@ -27,10 +27,16 @@ harness:
 harness-full:
 	$(GO) run ./cmd/prdmabench -all -scale full
 
+# Remote PM pool figures: the alloc/write/free grid and the disaggregated
+# shuffle (quick scale).
+pmpool:
+	$(GO) run ./cmd/prdmabench -pmpool -scale quick
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/kvstore
 	$(GO) run ./examples/pagerank
+	$(GO) run ./examples/pagerank -pmpool
 	$(GO) run ./examples/failover
 	$(GO) run ./examples/replication
 

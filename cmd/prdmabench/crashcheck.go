@@ -197,6 +197,60 @@ func partitionedCrashcheckMain(seed int64, points, shards, replicas, objSize, wo
 	}
 }
 
+// pmpoolCrashcheckMain is the `-crashcheck -pmpool` entry point: a
+// crash-point sweep over the remote PM pool's alloc/free/write/lease path.
+// Every point asserts the pool's crash contract — no slot leaks, no double
+// seating, no acked free resurrects, no acked write loses its bytes, and
+// orphaned allocations are bounded by lease reclamation. Exits non-zero on
+// any violation; -mutant leak seeds the known bug the sweep must catch.
+func pmpoolCrashcheckMain(seed int64, points, torn int, family, mutant string) {
+	start := time.Now()
+	kind := rpc.WFlushRPC
+	if family != "" {
+		found := false
+		for _, k := range rpc.DurableKinds {
+			if strings.Contains(strings.ToLower(k.String()), strings.ToLower(family)) {
+				kind, found = k, true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "crashcheck: no durable family matches -family %q\n", family)
+			os.Exit(2)
+		}
+	}
+	cfg := crashcheck.DefaultPMPoolConfig(kind, seed)
+	if points > 0 {
+		cfg.Points = points
+	}
+	if torn >= 0 {
+		cfg.TornPoints = torn
+	}
+	cfg.Mutant = mutant
+	res := crashcheck.PMPoolSweep(cfg)
+	fmt.Printf("pmpool %-13v seed=%-4d points=%-4d events=%-6d replays=%-5d violations=%d\n",
+		res.Kind, res.Seed, res.Points, res.Events, res.Replayed, res.ViolationCount)
+	for _, v := range res.Violations {
+		fmt.Printf("  VIOLATION %v\n", v)
+	}
+	if res.ViolationCount > len(res.Violations) {
+		fmt.Printf("  ... %d further violations truncated\n", res.ViolationCount-len(res.Violations))
+	}
+	if min := res.Minimal(); min != nil {
+		cmd := fmt.Sprintf("-crashcheck -pmpool -family %s -seed %d -points %d -torn %d",
+			strings.TrimSuffix(min.Kind.String(), "-RPC"), min.Seed, cfg.Points, cfg.TornPoints)
+		if mutant != "" {
+			cmd += " -mutant " + mutant
+		}
+		fmt.Printf("  minimal repro: %s  crash at {%v} (t=%v)\n", cmd, min.Point, min.At)
+	}
+	fmt.Fprintf(os.Stderr, "[pmpool crashcheck done in %v]\n", time.Since(start).Round(time.Millisecond))
+	if res.ViolationCount > 0 {
+		fmt.Fprintf(os.Stderr, "crashcheck: pmpool sweep violated pool crash invariants\n")
+		os.Exit(1)
+	}
+}
+
 // crashcheckMain is the -crashcheck entry point; it exits non-zero when
 // any sweep finds a violation.
 func crashcheckMain(o crashcheckOptions) {

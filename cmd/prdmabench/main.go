@@ -24,6 +24,9 @@
 //	prdmabench -matrix -mutant ackbug   # mutant-detection check: expect exit 1
 //	prdmabench -parscale           # parallel-kernel scaling ladder + 1M-client open-loop smoke
 //	prdmabench -parscale -simpar 4 -logclients 1000000 -json BENCH_PR7.json
+//	prdmabench -pmpool             # remote PM pool: alloc grid + disaggregated shuffle figures
+//	prdmabench -crashcheck -pmpool -points 60 -torn 12   # pool crash-point sweep (alloc/free/write invariants)
+//	prdmabench -crashcheck -pmpool -mutant leak   # seeded leak bug: the sweep must catch it (exit 1)
 //
 // -simpar selects the worker count for partitioned (multi-kernel) drivers.
 // With -crashcheck -cluster, -simpar N (N>0) switches the sweep to the
@@ -46,6 +49,28 @@ import (
 
 	"prdma/internal/bench"
 )
+
+// validateModes rejects top-level mode combinations instead of silently
+// running one and ignoring the other: every pair of driver modes is
+// mutually exclusive, except -crashcheck with -cluster or -pmpool, which
+// select *which* crash sweep runs.
+func validateModes(flagSet map[string]bool) error {
+	conflicts := [][2]string{
+		{"pmpool", "matrix"}, {"pmpool", "parscale"}, {"pmpool", "cluster"},
+		{"pmpool", "fig"}, {"pmpool", "table"}, {"pmpool", "ablation"}, {"pmpool", "all"},
+		{"matrix", "crashcheck"}, {"matrix", "parscale"}, {"matrix", "cluster"},
+		{"matrix", "fig"}, {"matrix", "table"}, {"matrix", "ablation"}, {"matrix", "all"},
+		{"parscale", "crashcheck"}, {"parscale", "cluster"},
+		{"parscale", "fig"}, {"parscale", "table"}, {"parscale", "ablation"}, {"parscale", "all"},
+		{"crashcheck", "fig"}, {"crashcheck", "table"}, {"crashcheck", "ablation"}, {"crashcheck", "all"},
+	}
+	for _, c := range conflicts {
+		if flagSet[c[0]] && flagSet[c[1]] {
+			return fmt.Errorf("-%s and -%s are mutually exclusive (run them separately)", c[0], c[1])
+		}
+	}
+	return nil
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "figure number to reproduce (7..20; 7 = the §4.4 case study)")
@@ -76,11 +101,16 @@ func main() {
 	matrixRun := flag.Bool("matrix", false, "run the adversarial fault x YCSB workload matrix (cluster crash-point sweep per cell)")
 	faults := flag.String("faults", "", "matrix: comma-separated adversary names (default: every builtin; see -matrix -faults help)")
 	workloads := flag.String("workloads", "", "matrix: YCSB workload letters, e.g. ABF (default: A-F)")
-	mutant := flag.String("mutant", "", "matrix / partitioned crashcheck: seed a known bug class (ackbug|resurrect); the sweep must then fail (exit 1)")
+	mutant := flag.String("mutant", "", "matrix / partitioned / pmpool crashcheck: seed a known bug class (ackbug|resurrect|leak); the sweep must then fail (exit 1)")
+	pmpoolRun := flag.Bool("pmpool", false, "run the remote PM pool figures (or, with -crashcheck, the pool crash-point sweep)")
 	flag.Parse()
 	flagSet := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
 	pointsSet := flagSet["points"]
+	if err := validateModes(flagSet); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -114,6 +144,23 @@ func main() {
 			o.replicas = *replicas
 		}
 		matrixMain(o)
+		if *memprofile != "" {
+			if err := writeHeapProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if *ccheck && *pmpoolRun {
+		pts, trn := 0, -1
+		if pointsSet {
+			pts = *points
+		}
+		if flagSet["torn"] {
+			trn = *torn
+		}
+		pmpoolCrashcheckMain(int64(*seed), pts, trn, *family, *mutant)
 		if *memprofile != "" {
 			if err := writeHeapProfile(*memprofile); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -240,6 +287,10 @@ func main() {
 	}
 
 	ran := false
+	if *pmpoolRun {
+		run("pmpool", o.PMPoolFigures)
+		ran = true
+	}
 	if *clusterRun {
 		run("cluster", func() []bench.Table { return o.ClusterFigures(*shards, *replicas) })
 		ran = true

@@ -1,0 +1,478 @@
+package crashcheck
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"prdma/internal/fabric"
+	"prdma/internal/host"
+	"prdma/internal/pmem"
+	"prdma/internal/pmpool"
+	"prdma/internal/redolog"
+	"prdma/internal/rnic"
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+)
+
+// PMPoolConfig parameterizes a crash-point sweep over the remote
+// persistent-memory pool (internal/pmpool): workers cycle allocations
+// through alloc → write → free across size classes while crashes land at
+// event boundaries and inside in-flight persists, and every point asserts
+// the pool's crash contract — no slot leaks, no double seating, no acked
+// free resurrects, no acked write loses its bytes.
+type PMPoolConfig struct {
+	// Kind is the durable RPC family carrying the pool protocol.
+	Kind rpc.Kind
+	// Seed drives workload generation and crash-point selection.
+	Seed int64
+	// Points / TornPoints / SecondCrashEvery place crashes exactly as in
+	// Config (see pickPoints).
+	Points           int
+	TornPoints       int
+	SecondCrashEvery int
+	// Ops is the total alloc/write/free cycle count across workers.
+	Ops int
+	// Workers is the number of concurrent client procs.
+	Workers int
+	// Restart is the server restart latency; Retransfer the call timeout.
+	Restart    time.Duration
+	Retransfer time.Duration
+	// LeaseTTL bounds orphaned allocations (abandoned cycles rely on it).
+	LeaseTTL time.Duration
+	// Mutant plants a seeded bug the sweep must catch. Supported: "leak"
+	// (Free skips the durable owner-word clear).
+	Mutant string
+}
+
+// DefaultPMPoolConfig returns a CI-sized pool sweep.
+func DefaultPMPoolConfig(kind rpc.Kind, seed int64) PMPoolConfig {
+	return PMPoolConfig{
+		Kind:             kind,
+		Seed:             seed,
+		Points:           200,
+		TornPoints:       40,
+		SecondCrashEvery: 5,
+		Ops:              60,
+		Workers:          3,
+		Restart:          2 * time.Millisecond,
+		Retransfer:       500 * time.Microsecond,
+		LeaseTTL:         3 * time.Millisecond,
+	}
+}
+
+// pmpoolCycle is one precomputed allocation lifecycle. Every 8th cycle is
+// abandoned (the lease reclaim must collect it); every 7th is kept live to
+// the end of the run (its contents must survive every crash).
+type pmpoolCycle struct {
+	id   uint64
+	size int64
+	ver  uint32
+	// abandon drops the handle unfreed; keep holds it live to the end.
+	abandon, keep bool
+}
+
+// pmpoolLedger is the acked-operation journal for one cycle: only effects
+// whose calls returned are asserted after a crash.
+type pmpoolLedger struct {
+	allocAcked bool
+	freeAcked  bool
+	abandoned  bool
+	addr       int64
+	writeVer   uint32
+}
+
+// genPMPoolCycles deals cycles to workers round-robin across a deterministic
+// size-class rotation (classes 64, 256 and 1024 after rounding).
+func genPMPoolCycles(cfg PMPoolConfig) [][]pmpoolCycle {
+	sizes := []int64{64, 192, 520, 1000}
+	out := make([][]pmpoolCycle, cfg.Workers)
+	for i := 0; i < cfg.Ops; i++ {
+		w := i % cfg.Workers
+		cy := pmpoolCycle{
+			id:   uint64(w+1)<<32 | uint64(i+1),
+			size: sizes[i%len(sizes)],
+			ver:  uint32(i + 1),
+		}
+		switch {
+		case i%8 == 5:
+			cy.abandon = true
+		case i%7 == 3:
+			cy.keep = true
+		}
+		out[w] = append(out[w], cy)
+	}
+	return out
+}
+
+// pmpoolRun is one simulated pool deployment plus driver state for a single
+// crash-point execution.
+type pmpoolRun struct {
+	cfg    PMPoolConfig
+	cycles [][]pmpoolCycle
+
+	k    *sim.Kernel
+	srv  *pmpool.Server
+	pool *pmpool.Pool
+	logs []*redolog.Log
+
+	serverUp     bool
+	generation   int
+	reestGen     int
+	reconnecting bool
+
+	ledger   map[uint64]*pmpoolLedger
+	progress []int
+	replayed int
+
+	recoverViolations []string
+}
+
+func newPMPoolRun(cfg PMPoolConfig, withMonitor bool) *pmpoolRun {
+	k := sim.New()
+	net := fabric.New(k, fabric.DefaultParams(), uint64(cfg.Seed)|1)
+	srvHost := host.New(k, "pool", net, host.DefaultParams(), pmem.DefaultParams(), rnic.DefaultParams())
+	cliHost := host.New(k, "cli", net, host.DefaultParams(), pmem.DefaultParams(), rnic.DefaultParams())
+
+	rcfg := rpc.DefaultConfig()
+	rcfg.ProcessingTime = 3 * time.Microsecond
+	rcfg.SparsePayloads = false
+	// A small ring forces wraps and ring-full throttling during the sweep.
+	rcfg.LogBytes = 16 * (1024 + 64)
+
+	scfg := pmpool.ServerConfig{
+		PoolBytes:    32 * 4096,
+		SlabBytes:    4096,
+		LeaseTTL:     cfg.LeaseTTL,
+		ReclaimEvery: cfg.LeaseTTL / 4,
+		LeakMutant:   cfg.Mutant == "leak",
+	}
+	srv := pmpool.NewServer(srvHost, rcfg, scfg)
+
+	pcfg := pmpool.DefaultPoolConfig(1)
+	pcfg.Kind = cfg.Kind
+	pcfg.ConnsPerServer = 2
+	pcfg.LeaseTTL = cfg.LeaseTTL
+	pcfg.Timeout = cfg.Retransfer
+	pool := pmpool.NewPool(cliHost, []*pmpool.Server{srv}, rcfg, pcfg)
+
+	r := &pmpoolRun{
+		cfg:      cfg,
+		cycles:   genPMPoolCycles(cfg),
+		k:        k,
+		srv:      srv,
+		pool:     pool,
+		logs:     pool.Logs(),
+		serverUp: true,
+		ledger:   make(map[uint64]*pmpoolLedger),
+		progress: make([]int, cfg.Workers),
+	}
+	for _, lg := range r.logs {
+		lg := lg
+		lg.OnRecover = func(info redolog.RecoverInfo) { r.checkRecover(lg, info) }
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		k.Go("pmpool-worker", func(p *sim.Proc) { r.worker(p, w) })
+	}
+	if withMonitor {
+		k.Go("pmpool-monitor", func(p *sim.Proc) {
+			for {
+				p.Sleep(20 * time.Microsecond)
+				if r.serverUp && r.reestGen != r.generation {
+					r.reconnecting = true
+					// Hold the lease renewer off for the whole recovery
+					// span: a renewal appended while a log's recovery scan
+					// is in flight would be dropped from the rebuilt
+					// window.
+					r.pool.PauseRenew()
+					// Rebuild the server's volatile pool state from the
+					// durable metadata shadow first, then replay the
+					// unconsumed redo-log tail onto it.
+					r.srv.Recover(p)
+					replayed, err := r.pool.Reestablish(p, 0)
+					r.pool.ResumeRenew()
+					if err != nil {
+						panic(err) // serial harness: reestablish cannot refuse
+					}
+					r.replayed += replayed
+					r.reestGen = r.generation
+					r.reconnecting = false
+				}
+			}
+		})
+	}
+	return r
+}
+
+// waitReady parks a worker while the server is down or reconnecting.
+func (r *pmpoolRun) waitReady(p *sim.Proc) {
+	for !r.serverUp || r.reconnecting || r.reestGen != r.generation {
+		p.Sleep(r.cfg.Retransfer / 4)
+	}
+}
+
+// worker drives its cycles to completion, retrying every call across
+// crashes. Alloc retries reuse the cycle's fixed id, so a durably-logged
+// first attempt replays server-side and the retry dedups against it.
+func (r *pmpoolRun) worker(p *sim.Proc, w int) {
+	for _, cy := range r.cycles[w] {
+		led := &pmpoolLedger{}
+		r.ledger[cy.id] = led
+		var h *pmpool.Handle
+		for {
+			r.waitReady(p)
+			var err error
+			if h, err = r.pool.AllocID(p, cy.id, cy.size); err == nil {
+				break
+			}
+		}
+		led.allocAcked = true
+		led.addr = h.Addr
+		payload := fill(int(cy.size), cy.id, cy.ver)
+		for {
+			r.waitReady(p)
+			if err := r.pool.Write(p, h, 0, payload); err == nil {
+				break
+			}
+		}
+		led.writeVer = cy.ver
+		switch {
+		case cy.abandon:
+			r.pool.Abandon(h)
+			led.abandoned = true
+		case cy.keep:
+			// Held live: the renewer keeps its lease, and the final state
+			// check requires its bytes intact.
+		default:
+			for {
+				r.waitReady(p)
+				if err := r.pool.Free(p, h); err == nil {
+					break
+				}
+			}
+			led.freeAcked = true
+		}
+		r.progress[w]++
+	}
+}
+
+func (r *pmpoolRun) doneAll() bool {
+	for w := range r.progress {
+		if r.progress[w] != len(r.cycles[w]) {
+			return false
+		}
+	}
+	return true
+}
+
+// crash fails the pool node and schedules its restart.
+func (r *pmpoolRun) crash() {
+	if !r.serverUp {
+		return
+	}
+	r.serverUp = false
+	r.srv.Crash()
+	r.k.AfterFunc(r.cfg.Restart, func() {
+		r.srv.H.Restart()
+		r.serverUp = true
+		r.generation++
+	})
+}
+
+// checkRecover asserts the redo-log recovery invariants on one connection:
+// sequence order at or above the durable floor, decodable frames, untorn
+// write payloads, and clean post-recovery accounting.
+func (r *pmpoolRun) checkRecover(lg *redolog.Log, info redolog.RecoverInfo) {
+	bad := func(format string, a ...any) {
+		r.recoverViolations = append(r.recoverViolations, fmt.Sprintf(format, a...))
+	}
+	prev := uint64(0)
+	for i, e := range info.Entries {
+		if e.Seq < info.Floor {
+			bad("recovered seq %d below durable floor %d", e.Seq, info.Floor)
+		}
+		if i > 0 && e.Seq <= prev {
+			bad("recovered seqs not strictly increasing: %d after %d", e.Seq, prev)
+		}
+		prev = e.Seq
+		_, req, err := rpc.DecodeLoggedRequest(e)
+		if err != nil {
+			bad("recovered entry is not a consistent frame: %v", err)
+			continue
+		}
+		if req.Op == rpc.OpWrite {
+			if len(req.Payload) != req.Size {
+				bad("recovered write seq %d: payload %d bytes, want %d", e.Seq, len(req.Payload), req.Size)
+				continue
+			}
+			if _, err := checkFill(req.Payload, req.Key); err != nil {
+				bad("recovered write seq %d: %v", e.Seq, err)
+			}
+		}
+	}
+	if err := lg.CheckAccounting(); err != nil {
+		bad("post-recover accounting: %v", err)
+	}
+}
+
+// verify checks the settled end state: liveness, then the acked-operation
+// ledger against the durable metadata shadow and the data region.
+func (r *pmpoolRun) verify() []string {
+	var out []string
+	bad := func(format string, a ...any) {
+		out = append(out, fmt.Sprintf(format, a...))
+	}
+	out = append(out, r.recoverViolations...)
+
+	if !r.serverUp {
+		bad("server still down after settle horizon")
+	}
+	for w := range r.progress {
+		if r.progress[w] != len(r.cycles[w]) {
+			bad("worker %d stopped at %d/%d cycles", w, r.progress[w], len(r.cycles[w]))
+		}
+	}
+
+	// The durable owned-id set must be exactly the kept allocations:
+	// everything else was either freed with an ack, or abandoned and
+	// reclaimed by lease expiry.
+	owned := r.srv.OwnedIDs()
+	ids := make([]uint64, 0, len(r.ledger))
+	for id := range r.ledger {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	scratch := make([]byte, 1024)
+	for _, id := range ids {
+		led := r.ledger[id]
+		want := led.allocAcked && !led.freeAcked && !led.abandoned
+		addr, has := owned[id]
+		switch {
+		case want && !has:
+			bad("live allocation lost: id %#x acked but not durably owned", id)
+		case !has:
+			// freed or reclaimed, as required
+		case led.freeAcked:
+			bad("acked free leaked: id %#x still durably owned at %#x", id, addr)
+		case led.abandoned:
+			bad("orphan never reclaimed: abandoned id %#x still owned at %#x", id, addr)
+		default:
+			if addr != led.addr {
+				bad("id %#x moved: acked at %#x, durably owned at %#x", id, led.addr, addr)
+			}
+			// Acked write durability: the kept allocation's bytes.
+			var size int64
+			for _, cys := range r.cycles {
+				for _, cy := range cys {
+					if cy.id == id {
+						size = cy.size
+					}
+				}
+			}
+			b := r.srv.H.PM.ReadBytesInto(led.addr, scratch[:size])
+			ver, err := checkFill(b, id)
+			if err != nil {
+				bad("kept allocation %#x torn: %v", id, err)
+			} else if ver != led.writeVer {
+				bad("kept allocation %#x holds ver %d, acked ver %d", id, ver, led.writeVer)
+			}
+		}
+	}
+	for id := range owned {
+		if _, ok := r.ledger[id]; !ok {
+			bad("durably owned id %#x was never allocated", id)
+		}
+	}
+
+	// Volatile/durable agreement and allocator books.
+	if r.srv.Live() != len(owned) {
+		bad("volatile index holds %d ids, durable shadow %d", r.srv.Live(), len(owned))
+	}
+	if err := r.srv.Slabs().CheckConsistent(); err != nil {
+		bad("slab allocator inconsistent: %v", err)
+	}
+	for i, lg := range r.logs {
+		if err := lg.CheckAccounting(); err != nil {
+			bad("final accounting (conn %d): %v", i, err)
+		}
+	}
+	return out
+}
+
+// PMPoolSweep runs the crash-free reference to size the event space, then
+// replays the pool workload once per crash point.
+func PMPoolSweep(cfg PMPoolConfig) Result {
+	res := Result{Kind: cfg.Kind, Mix: MixWrites, Seed: cfg.Seed}
+
+	// Crash-free reference. The lease renewer and reclaimer poll forever,
+	// so the event queue never drains: step in event batches until the
+	// workload completes, then include the orphan-reclaim tail so crashes
+	// can land inside reclamation too.
+	ref := newPMPoolRun(cfg, false)
+	for !ref.doneAll() {
+		if ref.k.RunEvents(4096) == 0 {
+			break
+		}
+	}
+	ref.k.RunFor(3 * cfg.LeaseTTL)
+	res.Events = ref.k.Fired()
+	record := func(r *pmpoolRun, pt Point, at sim.Time, msgs []string) {
+		for _, msg := range msgs {
+			res.ViolationCount++
+			if len(res.Violations) < maxViolations {
+				res.Violations = append(res.Violations, Violation{
+					Kind: cfg.Kind, Mix: MixWrites, Seed: cfg.Seed,
+					Point: pt, At: at, Msg: msg,
+				})
+			}
+		}
+	}
+	record(ref, Point{}, ref.k.Now(), ref.verify())
+	refSpan := ref.k.Now().Sub(sim.Time(0))
+	ref.k.Shutdown()
+
+	points := pickPoints(Config{
+		Seed: cfg.Seed, Points: cfg.Points,
+		TornPoints: cfg.TornPoints, SecondCrashEvery: cfg.SecondCrashEvery,
+	}, res.Events)
+	res.Points = len(points)
+	for _, pt := range points {
+		r, at := runPMPoolPoint(cfg, pt, refSpan)
+		res.Replayed += r.replayed
+		record(r, pt, at, r.verify())
+		r.k.Shutdown()
+	}
+	return res
+}
+
+// runPMPoolPoint executes the workload, crashes at pt, and lets the pool
+// settle long enough for recovery, replay, retries, and lease reclamation
+// of both abandoned and crash-resurrected orphans.
+func runPMPoolPoint(cfg PMPoolConfig, pt Point, refSpan time.Duration) (*pmpoolRun, sim.Time) {
+	r := newPMPoolRun(cfg, true)
+	r.k.RunEvents(pt.Event)
+	if pt.TornFrac > 0 {
+		if ws := r.srv.H.PM.InflightTornWindows(r.k.Now()); len(ws) > 0 {
+			w := ws[int(pt.Event)%len(ws)]
+			start := w.Start
+			if now := r.k.Now(); start < now {
+				start = now
+			}
+			t := start.Add(time.Duration(pt.TornFrac * float64(w.End.Sub(start))))
+			if t > r.k.Now() {
+				r.k.RunUntil(t)
+			}
+		}
+	}
+	at := r.k.Now()
+	r.crash()
+	if pt.SecondCrash {
+		delta := time.Duration(pt.Event%40) * time.Microsecond
+		r.k.AfterFunc(cfg.Restart+delta, r.crash)
+	}
+	horizon := at.Add(3*cfg.Restart + 2*refSpan +
+		100*time.Duration(cfg.Ops)*cfg.Retransfer/10 + 4*cfg.LeaseTTL)
+	r.k.RunUntil(horizon)
+	return r, at
+}

@@ -99,10 +99,10 @@ func decodeReq(b []byte) (uint64, *Request) {
 }
 
 // carriesPayload reports whether op's requests carry body bytes beyond the
-// header: object contents for writes, serialized constituent requests for
-// batch frames.
+// header: object contents for writes, control records for OpCtrl,
+// serialized constituent requests for batch frames.
 func carriesPayload(op Op) bool {
-	return op == OpWrite || op == opHotpotPrepare || isBatchOp(op)
+	return op == OpWrite || op == OpCtrl || op == opHotpotPrepare || isBatchOp(op)
 }
 
 // reqWireBytes is the timed message size for a request.
@@ -143,10 +143,16 @@ func respWireBytes(req *Request) int {
 			n = 1
 		}
 		return respHeaderBytes + n*req.Size
+	case OpCtrl:
+		// Control results are small fixed records (status + two words).
+		return respHeaderBytes + ctrlRespWire
 	default:
 		return respHeaderBytes
 	}
 }
+
+// ctrlRespWire is the timed result size budgeted for an OpCtrl response.
+const ctrlRespWire = 64
 
 // respMsg is a matched response.
 type respMsg struct {
@@ -160,6 +166,16 @@ type Server struct {
 	H     *host.Host
 	Store *Store
 	Cfg   Config
+
+	// Handler, when set, replaces Store.ApplyFromBuffer as the per-request
+	// apply function: services with their own state machine (the pmpool
+	// allocation protocol) mount it here and the whole transport — durable
+	// logging, crash replay, worker dispatch — is reused unchanged. The
+	// handler runs on a worker proc; whatever it returns travels back as
+	// the response data. It must persist its own effects before returning:
+	// the transport acks durability of the *request*, the handler owns
+	// durability of its *state*.
+	Handler func(p *sim.Proc, req *Request) []byte
 
 	work *sim.Chan[workItem]
 
@@ -191,6 +207,20 @@ func NewServer(h *host.Host, store *Store, cfg Config) *Server {
 	return s
 }
 
+// Declined is a sentinel a Handler returns when the service cannot apply
+// requests yet — restarted but not recovered, so applying (and consuming
+// the log entry) would discard a durably-acked request before the rebuilt
+// state exists to receive it. The worker drops the item without responding
+// or consuming: the entry stays durable in the redo log and replays on the
+// next reestablish, while live callers time out and retry. Identity of the
+// slice is what's checked, so a genuine response can never collide with it.
+var Declined = []byte{0}
+
+// declined reports whether a handler returned the Declined sentinel.
+func declined(data []byte) bool {
+	return len(data) == 1 && &data[0] == &Declined[0]
+}
+
 // workerLoop drains the shared work queue.
 func (s *Server) workerLoop(p *sim.Proc) {
 	for {
@@ -210,10 +240,17 @@ func (s *Server) workerLoop(p *sim.Proc) {
 				// RPC logic (heavy load, following DaRPC).
 				s.H.ComputeExact(p, s.Cfg.ProcessingTime)
 			}
-			data = s.Store.ApplyFromBuffer(p, r)
+			if s.Handler != nil {
+				data = s.Handler(p, r)
+			} else {
+				data = s.Store.ApplyFromBuffer(p, r)
+			}
 		}
 		if it.epoch != s.H.PM.Epoch() {
 			continue // the server crashed mid-processing: work lost
+		}
+		if declined(data) {
+			continue // service not recovered yet: leave the entry in the log
 		}
 		if it.respond != nil {
 			it.respond(p, data)

@@ -117,13 +117,18 @@ func (c *durableClient) popReservation(n int) int64 {
 // RFlush notification here — before processing, which is the whole point.
 func (c *durableClient) startLogPoller() {
 	kind := c.kind
-	sq := c.sq // bind to this connection incarnation
+	// Bind to this connection incarnation: Reestablish replaces c.conn, so
+	// reading c.closed through the embedded pointer would keep a replaced
+	// incarnation's poller alive — and a late RC retransmit landing on its
+	// still-registered QP would be fed into the shared redo log.
+	cn := c.conn
+	sq := c.sq
 	c.srv.H.K.Go(c.srv.H.Name+"-"+kind.String()+"-poll", func(p *sim.Proc) {
-		for !c.closed && !sq.Dead() {
+		for !cn.closed && !sq.Dead() {
 			arr := sq.Arrivals.Pop(p)
 			c.srv.H.PollDelay(p)
-			if sq.Dead() {
-				return // crashed while polling: the request died in DRAM
+			if cn.closed || sq.Dead() {
+				return // crashed or replaced while polling
 			}
 			seq, req := c.decodeEntry(arr.Data)
 			if kind == WRFlushRPC && mutatingOp(req.Op) {
@@ -144,14 +149,15 @@ func (c *durableClient) startLogPoller() {
 // startLogRecv is the server loop for the send-based durable RPCs.
 func (c *durableClient) startLogRecv() {
 	kind := c.kind
-	sq := c.sq // bind to this connection incarnation
+	cn := c.conn // bind to this connection incarnation (see startLogPoller)
+	sq := c.sq
 	repost := nativeSFlush(kind, c.srv)
 	c.srv.H.K.Go(c.srv.H.Name+"-"+kind.String()+"-recv", func(p *sim.Proc) {
-		for !c.closed && !sq.Dead() {
+		for !cn.closed && !sq.Dead() {
 			rcv := sq.RecvCQ.Pop(p)
 			c.srv.H.PollDelay(p)
-			if sq.Dead() {
-				return // crashed while polling
+			if cn.closed || sq.Dead() {
+				return // crashed or replaced while polling
 			}
 			if repost {
 				sq.PostRecv(rcv.Addr, c.cfg.SlotSize)
@@ -199,8 +205,10 @@ func (c *durableClient) enqueueLogged(seq uint64, req *Request, respond func(*si
 
 // mutatingOp reports whether op needs a durability acknowledgement. A
 // read-only batch (opBatchRO) deliberately does not: it rides the same FIFO
-// channel but skips the flush machinery (§5.5).
-func mutatingOp(op Op) bool { return op == OpWrite || op == opBatch }
+// channel but skips the flush machinery (§5.5). OpCtrl records mutate
+// service state, so they log and flush like writes — but their caller waits
+// for the processing response (which carries the result), not the flush.
+func mutatingOp(op Op) bool { return op == OpWrite || op == OpCtrl || op == opBatch }
 
 // decodeEntry parses a redo-log entry image back into (seq, request).
 func (c *durableClient) decodeEntry(b []byte) (uint64, *Request) {
@@ -381,7 +389,7 @@ func (c *durableClient) postRecvServer(addr int64, length int) {
 // response future).
 func (c *durableClient) issue(p *sim.Proc, req *Request) (uint64, *sim.Future[sim.Time], *sim.Future[respMsg], error) {
 	n := reqWireBytes(req)
-	mutating := req.Op == OpWrite
+	mutating := mutatingOp(req.Op)
 	c.cli.Post(p) // WQE-posting cost up front: dispatch must not yield
 	seq, addr, err := c.admit(p, n, mutating)
 	if err != nil {

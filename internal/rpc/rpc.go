@@ -30,12 +30,24 @@ const (
 	OpScan
 )
 
+// OpCtrl is a durable control record: it rides the mutating (redo-logged,
+// flush-acknowledged) path like OpWrite — its payload is durable in the
+// connection's redo log before the server processes it, and it replays
+// after a crash — but the caller waits for the processing response, which
+// carries result bytes back. Services layered on the durable families (the
+// pmpool allocation protocol) use it for metadata operations that must
+// both survive a crash and return an answer. The opcode sits in the
+// internal range (batch/hotpot frames occupy 200..211).
+const OpCtrl Op = 220
+
 func (o Op) String() string {
 	switch o {
 	case OpRead:
 		return "read"
 	case OpWrite:
 		return "write"
+	case OpCtrl:
+		return "ctrl"
 	default:
 		return "scan"
 	}

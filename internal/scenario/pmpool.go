@@ -1,0 +1,137 @@
+package scenario
+
+import (
+	"fmt"
+
+	"prdma/internal/fabric"
+	"prdma/internal/graph"
+	"prdma/internal/host"
+	"prdma/internal/pmem"
+	"prdma/internal/pmpool"
+	"prdma/internal/rnic"
+	"prdma/internal/rpc"
+	"prdma/internal/sim"
+	"prdma/internal/stats"
+)
+
+// PMPoolSpec shapes the disaggregated-shuffle run over the remote
+// persistent-memory pool (internal/pmpool): PageRank whose every
+// map→reduce exchange is staged through remote PM, with the final ranks
+// checked bit-for-bit against the local in-memory baseline.
+type PMPoolSpec struct {
+	// Servers and Clients size the deployment: Servers pool nodes striped
+	// by consistent hash, Clients hosts each with a striping Pool front end.
+	Servers int `json:"servers"`
+	Clients int `json:"clients"`
+	// Maps, Reducers and Iterations shape the shuffle PageRank.
+	Maps       int `json:"maps"`
+	Reducers   int `json:"reducers"`
+	Iterations int `json:"iterations"`
+	// GraphScale divides the wordassociation-2011 dataset (default 8).
+	GraphScale int `json:"graphScale"`
+}
+
+// runPMPool executes the pmpool scenario: build the pool deployment, run
+// the disaggregated shuffle, and fail the run on any leak or rank
+// divergence — the two invariants a correct pool cannot break.
+func (s *Spec) runPMPool(kind rpc.Kind) (*Report, error) {
+	durable := false
+	for _, k := range rpc.DurableKinds {
+		durable = durable || k == kind
+	}
+	if !durable {
+		return nil, fmt.Errorf("scenario: pmpool needs a durable RPC family, not %v", kind)
+	}
+	ps := s.PMPool
+	servers := orDefault(ps.Servers, 2)
+	clients := orDefault(ps.Clients, 2)
+	scale := orDefault(ps.GraphScale, 8)
+
+	g := graph.Generate(graph.Dataset{
+		Name:  graph.WordAssociation.Name,
+		Nodes: graph.WordAssociation.Nodes / scale,
+		Edges: graph.WordAssociation.Edges / scale,
+	}, s.Seed)
+	cfg := pmpool.DefaultShuffleConfig()
+	if ps.Maps > 0 {
+		cfg.Maps = ps.Maps
+	}
+	if ps.Reducers > 0 {
+		cfg.Reducers = ps.Reducers
+	}
+	if ps.Iterations > 0 {
+		cfg.Iterations = ps.Iterations
+	}
+
+	k := sim.New()
+	defer k.Shutdown()
+	net := fabric.New(k, fabric.DefaultParams(), s.Seed|1)
+	rcfg := rpc.DefaultConfig()
+	rcfg.Workers = s.Workers
+	rcfg.LogBytes = 128 << 10
+	scfg := pmpool.DefaultServerConfig()
+	scfg.PoolBytes = 512 * 4096
+	cfg.MaxChunk = int(scfg.SlabBytes) // every block must fit one slab
+	srvs := make([]*pmpool.Server, servers)
+	for i := range srvs {
+		h := host.New(k, fmt.Sprintf("pool%d", i), net, host.DefaultParams(), pmem.DefaultParams(), rnic.DefaultParams())
+		srvs[i] = pmpool.NewServer(h, rcfg, scfg)
+	}
+	pools := make([]*pmpool.Pool, clients)
+	for c := range pools {
+		h := host.New(k, fmt.Sprintf("cli%d", c), net, host.DefaultParams(), pmem.DefaultParams(), rnic.DefaultParams())
+		pcfg := pmpool.DefaultPoolConfig(uint64(c + 1))
+		pcfg.Kind = kind
+		pcfg.ConnsPerServer = 2
+		pcfg.LeaseTTL = scfg.LeaseTTL
+		pools[c] = pmpool.NewPool(h, srvs, rcfg, pcfg)
+	}
+
+	var ranks []float64
+	var st pmpool.ShuffleStats
+	var runErr error
+	var start, end sim.Time
+	k.Go("scenario-pmpool", func(p *sim.Proc) {
+		start = p.Now()
+		ranks, st, runErr = pmpool.ShufflePageRank(p, pools, g, cfg)
+		end = p.Now()
+		for _, pl := range pools {
+			pl.Stop()
+		}
+		for _, sv := range srvs {
+			sv.Stop()
+		}
+	})
+	k.Run()
+	if runErr != nil {
+		return nil, fmt.Errorf("scenario: pmpool shuffle: %w", runErr)
+	}
+	leaked := 0
+	for _, sv := range srvs {
+		leaked += sv.Live()
+	}
+	if leaked != 0 {
+		return nil, fmt.Errorf("scenario: pmpool leaked %d blocks (every shuffle block is freed with an ack)", leaked)
+	}
+	local := pmpool.LocalShufflePageRank(g, cfg)
+	if err := pmpool.CompareRanks(ranks, local); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+
+	elapsed := end.Sub(start)
+	rep := &Report{
+		Name:    s.Name,
+		RPC:     kind.String(),
+		Ops:     int(st.Blocks),
+		Elapsed: elapsed.String(),
+		KOPS:    stats.Throughput{Ops: int(st.Blocks), Elapsed: elapsed}.KOPS(),
+	}
+	rep.Counters = map[string]int64{
+		"shuffleBlocks": st.Blocks,
+		"shuffleBytes":  st.Bytes,
+		"blocksLeaked":  int64(leaked),
+		"ranks":         int64(len(ranks)),
+		"iterations":    int64(cfg.Iterations),
+	}
+	return rep, nil
+}

@@ -60,6 +60,10 @@ type Spec struct {
 	// cluster (internal/cluster) instead of a single server.
 	Cluster *ClusterSpec `json:"cluster"`
 
+	// PMPool runs the disaggregated shuffle through the remote
+	// persistent-memory pool (internal/pmpool) instead of the KV workload.
+	PMPool *PMPoolSpec `json:"pmpool,omitempty"`
+
 	// Trace records up to TraceEvents model events (NIC staging, flush
 	// ACKs, retransmissions, crashes, recovery) into the report.
 	Trace       bool `json:"trace"`
@@ -177,6 +181,12 @@ func (s *Spec) Run() (*Report, error) {
 	}
 	if s.Crashes != nil && s.Cluster != nil {
 		return nil, fmt.Errorf("scenario: crashes and cluster are mutually exclusive (cluster runs inject failures via crashPrimary or a fault spec)")
+	}
+	if s.PMPool != nil && (s.Crashes != nil || s.Cluster != nil) {
+		return nil, fmt.Errorf("scenario: pmpool is its own deployment shape — it excludes crashes and cluster (pool crash coverage lives in prdmabench -crashcheck -pmpool)")
+	}
+	if s.PMPool != nil {
+		return s.runPMPool(kind)
 	}
 	if s.Cluster != nil {
 		return s.runCluster(kind)

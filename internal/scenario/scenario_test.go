@@ -225,3 +225,41 @@ func TestRunHotpotScenario(t *testing.T) {
 		t.Fatalf("ops = %d", rep.Ops)
 	}
 }
+
+func TestRunPMPoolScenario(t *testing.T) {
+	s := &Spec{
+		Name: "pmpool", RPC: "WFlush-RPC", Seed: 7,
+		PMPool: &PMPoolSpec{Servers: 2, Clients: 2, Iterations: 2, GraphScale: 16},
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 || rep.Counters["shuffleBlocks"] == 0 {
+		t.Fatalf("shuffle moved no blocks: %+v", rep)
+	}
+	if rep.Counters["blocksLeaked"] != 0 {
+		t.Fatalf("leaked %d blocks", rep.Counters["blocksLeaked"])
+	}
+}
+
+func TestPMPoolScenarioExclusions(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{RPC: "WFlush-RPC", PMPool: &PMPoolSpec{Iterations: 1, GraphScale: 16}}
+	}
+	s := base()
+	s.Cluster = &ClusterSpec{Shards: 2, Replicas: 2}
+	if _, err := s.Run(); err == nil {
+		t.Error("pmpool+cluster should be rejected")
+	}
+	s = base()
+	s.Crashes = &CrashSpec{Count: 1}
+	if _, err := s.Run(); err == nil {
+		t.Error("pmpool+crashes should be rejected")
+	}
+	s = base()
+	s.RPC = "FaRM"
+	if _, err := s.Run(); err == nil {
+		t.Error("pmpool over a non-durable family should be rejected")
+	}
+}
